@@ -1,0 +1,168 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! safeguards, change-count caps, prompt budget, and the engine-level
+//! bloom/cache contribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use db_bench::{run_benchmark, BenchmarkSpec};
+use elmo_tune::{EnvSpec, SafeguardPolicy, TuningConfig, TuningSession};
+use hw_sim::{DeviceModel, HardwareEnv};
+use llm_client::{ExpertModel, QuirkConfig};
+use lsm_kvs::options::Options;
+use lsm_kvs::Db;
+
+const SCALE: f64 = 0.004;
+
+fn hdd() -> EnvSpec {
+    EnvSpec {
+        cores: 2,
+        mem_gib: 4,
+        device: DeviceModel::sata_hdd(),
+    }
+}
+
+/// Safeguards ON vs OFF under a heavily hallucinating model. With the
+/// blacklist removed, the model's `disable_wal=true` advice goes through:
+/// throughput "improves" at the cost of durability — exactly why the
+/// paper's Safeguard Enforcer exists.
+fn bench_safeguards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/safeguards");
+    g.sample_size(10);
+    let mut printed = false;
+    g.bench_function("on_vs_off_under_heavy_quirks", |b| {
+        b.iter(|| {
+            let run = |unprotected: bool| {
+                let mut model = ExpertModel::new(11, QuirkConfig::heavy());
+                let mut policy = SafeguardPolicy::with_memory_budget(4 << 30);
+                if unprotected {
+                    policy.unprotect("disable_wal");
+                    policy.unprotect("avoid_flush_during_shutdown");
+                    policy.unprotect("manual_wal_flush");
+                }
+                TuningSession::new(hdd(), BenchmarkSpec::fillrandom(SCALE), &mut model)
+                    .with_config(TuningConfig {
+                        iterations: 3,
+                        ..TuningConfig::default()
+                    })
+                    .with_policy(policy)
+                    .run(Options::default())
+                    .expect("session runs")
+            };
+            let guarded = run(false);
+            let unguarded = run(true);
+            if !printed {
+                printed = true;
+                println!(
+                    "  guarded: {:.2}x (wal={}), unguarded: {:.2}x (wal disabled={})",
+                    guarded.throughput_improvement(),
+                    !guarded.final_options.disable_wal,
+                    unguarded.throughput_improvement(),
+                    unguarded.final_options.disable_wal,
+                );
+            }
+            assert!(!guarded.final_options.disable_wal);
+            (guarded.best.ops_per_sec, unguarded.best.ops_per_sec)
+        });
+    });
+    g.finish();
+}
+
+/// Max changes per iteration: 3 vs 10 vs 100 (the paper observes that
+/// beyond ~10 the returns are marginal).
+fn bench_change_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/max_changes");
+    g.sample_size(10);
+    for cap in [3usize, 10, 100] {
+        g.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| {
+                let mut model = ExpertModel::new(5, QuirkConfig::default());
+                let report =
+                    TuningSession::new(hdd(), BenchmarkSpec::fillrandom(SCALE), &mut model)
+                        .with_config(TuningConfig {
+                            iterations: 2,
+                            max_changes_per_iteration: cap,
+                            ..TuningConfig::default()
+                        })
+                        .run(Options::default())
+                        .expect("session runs");
+                report.best.ops_per_sec
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Prompt budget: the full interlaced prompt vs a tiny one that forces
+/// truncation of the system/options sections (paper challenge: "how much
+/// information is enough?").
+fn bench_prompt_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/prompt_budget");
+    g.sample_size(10);
+    for budget in [1_200usize, 16_000] {
+        g.bench_function(format!("chars_{budget}"), |b| {
+            b.iter(|| {
+                let mut model = ExpertModel::new(5, QuirkConfig::default());
+                let report =
+                    TuningSession::new(hdd(), BenchmarkSpec::fillrandom(SCALE), &mut model)
+                        .with_config(TuningConfig {
+                            iterations: 2,
+                            prompt_budget_chars: budget,
+                            ..TuningConfig::default()
+                        })
+                        .run(Options::default())
+                        .expect("session runs");
+                report.best.ops_per_sec
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Engine-level ablation: how much of the read-side win is bloom filters
+/// vs block cache (the two levers behind the paper's RR/RRWR rows).
+fn bench_bloom_cache_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/read_levers");
+    g.sample_size(10);
+    let spec = {
+        let mut s = BenchmarkSpec::readrandom(1.0);
+        s.num_ops = 20_000;
+        s.preload_keys = 60_000;
+        s.key_space = 60_000;
+        s
+    };
+    let run = |bloom: f64, cache_mb: u64| {
+        let env = HardwareEnv::builder()
+            .cores(4)
+            .memory_gib(4)
+            .device(DeviceModel::nvme_ssd())
+            .build_sim();
+        let mut opts = Options::default();
+        opts.bloom_filter_bits_per_key = bloom;
+        opts.block_cache_size = cache_mb << 20;
+        let db = Db::open_sim(opts, &env).unwrap();
+        run_benchmark(&db, &env, &spec, None).unwrap().ops_per_sec
+    };
+    let mut printed = false;
+    g.bench_function("default_bloom_cache_both", |b| {
+        b.iter(|| {
+            let default = run(0.0, 8);
+            let bloom_only = run(10.0, 8);
+            let cache_only = run(0.0, 512);
+            let both = run(10.0, 512);
+            if !printed {
+                printed = true;
+                println!(
+                    "  RR ops/s: default {default:.0}, +bloom {bloom_only:.0}, +cache {cache_only:.0}, both {both:.0}"
+                );
+            }
+            (default, bloom_only, cache_only, both)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_safeguards, bench_change_cap, bench_prompt_budget, bench_bloom_cache_split
+}
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Engine microbenchmarks: the storage-substrate hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hw_sim::{DeviceModel, HardwareEnv};
+use lsm_kvs::options::{CompressionType, Options};
+use lsm_kvs::sstable::bloom::BloomFilter;
+use lsm_kvs::sstable::compress;
+use lsm_kvs::{Db, MemTable, ValueType};
+
+fn env() -> HardwareEnv {
+    HardwareEnv::builder()
+        .cores(4)
+        .memory_gib(8)
+        .device(DeviceModel::nvme_ssd())
+        .build_sim()
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/put");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sequential_keys", |b| {
+        let env = env();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(format!("key-{i:012}").as_bytes(), &[0u8; 100]).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/get");
+    g.throughput(Throughput::Elements(1));
+    let env = env();
+    let mut opts = Options::default();
+    opts.write_buffer_size = 1 << 20;
+    opts.target_file_size_base = 1 << 20;
+    opts.max_bytes_for_level_base = 4 << 20;
+    opts.bloom_filter_bits_per_key = 10.0;
+    let db = Db::open_sim(opts, &env).unwrap();
+    for i in 0..50_000u64 {
+        db.put(format!("key-{i:012}").as_bytes(), &[7u8; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_background_idle().unwrap();
+    let mut i = 0u64;
+    g.bench_function("hit_across_levels", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            db.get(format!("key-{i:012}").as_bytes()).unwrap().unwrap();
+        });
+    });
+    g.bench_function("miss_with_bloom", |b| {
+        b.iter(|| {
+            i += 1;
+            assert!(db.get(format!("absent-{i:012}").as_bytes()).unwrap().is_none());
+        });
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/scan");
+    let env = env();
+    let db = Db::open_sim(Options::default(), &env).unwrap();
+    for i in 0..20_000u64 {
+        db.put(format!("key-{i:012}").as_bytes(), &[1u8; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("scan_100", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 131) % 19_000;
+            let out = db.scan(format!("key-{i:012}").as_bytes(), 100).unwrap();
+            assert_eq!(out.len(), 100);
+        });
+    });
+    g.finish();
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/memtable");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        b.iter_batched(
+            || MemTable::new(0),
+            |mut mt| {
+                for i in 0..1_000u64 {
+                    mt.add(i + 1, ValueType::Value, &i.to_be_bytes(), &[0u8; 100]);
+                }
+                mt
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut mt = MemTable::new(0);
+    for i in 0..100_000u64 {
+        mt.add(i + 1, ValueType::Value, format!("key-{i:012}").as_bytes(), b"v");
+    }
+    g.bench_function("get_in_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % 100_000;
+            mt.get(format!("key-{i:012}").as_bytes(), u64::MAX);
+        });
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/bloom");
+    let keys: Vec<Vec<u8>> = (0..100_000).map(|i| format!("key-{i:012}").into_bytes()).collect();
+    g.bench_function("build_100k_at_10bits", |b| {
+        b.iter(|| BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10.0));
+    });
+    let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10.0);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            filter.may_contain(format!("key-{:012}", i % 200_000).as_bytes())
+        });
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/compression");
+    // Half-compressible 64 KiB block (db_bench-style data).
+    let mut data = vec![0u8; 64 << 10];
+    let mut x = 1u32;
+    for (i, byte) in data.iter_mut().enumerate() {
+        if i % 100 < 50 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *byte = (x >> 24) as u8;
+        }
+    }
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for ty in [CompressionType::Lz4, CompressionType::Snappy, CompressionType::Zstd] {
+        g.bench_function(format!("compress/{ty}"), |b| {
+            b.iter(|| compress::compress(ty, &data).unwrap());
+        });
+    }
+    let compressed = compress::compress(CompressionType::Snappy, &data).unwrap();
+    g.bench_function("decompress/snappy_class", |b| {
+        b.iter(|| compress::decompress(&compressed).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_put, bench_get, bench_scan, bench_memtable, bench_bloom, bench_compression
+}
+criterion_main!(benches);

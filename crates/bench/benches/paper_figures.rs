@@ -1,0 +1,75 @@
+//! Criterion benches for Figures 3 and 4 (per-iteration series), at
+//! reduced scale, one bench per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use db_bench::BenchmarkSpec;
+use elmo_tune::{EnvSpec, TuningConfig, TuningSession};
+use hw_sim::DeviceModel;
+use llm_client::{ExpertModel, QuirkConfig};
+use lsm_kvs::options::Options;
+
+const SCALE: f64 = 0.003;
+
+fn run_figure(device: DeviceModel, label: &str, print: bool) -> usize {
+    let env = EnvSpec {
+        cores: 4,
+        mem_gib: 4,
+        device,
+    };
+    let specs = [
+        BenchmarkSpec::fillrandom(SCALE),
+        BenchmarkSpec::mixgraph(SCALE),
+        BenchmarkSpec::readrandomwriterandom(SCALE),
+    ];
+    let mut total_points = 0;
+    for spec in specs {
+        let mut model = ExpertModel::new(42, QuirkConfig::default());
+        let report = TuningSession::new(env.clone(), spec, &mut model)
+            .with_config(TuningConfig {
+                iterations: 3,
+                ..TuningConfig::default()
+            })
+            .run(Options::default())
+            .expect("session runs");
+        total_points += 1 + report.records.len();
+        if print {
+            println!(
+                "  {label} [{}]: {:.0} -> {:.0} ops/s over {} iterations",
+                report.workload,
+                report.baseline.ops_per_sec,
+                report.best.ops_per_sec,
+                report.records.len()
+            );
+        }
+    }
+    total_points
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut printed = false;
+    c.bench_function("paper/fig3_hdd_iteration_series", |b| {
+        b.iter(|| {
+            let points = run_figure(DeviceModel::sata_hdd(), "fig3", !printed);
+            printed = true;
+            points
+        });
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut printed = false;
+    c.bench_function("paper/fig4_nvme_iteration_series", |b| {
+        b.iter(|| {
+            let points = run_figure(DeviceModel::nvme_ssd(), "fig4", !printed);
+            printed = true;
+            points
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4
+}
+criterion_main!(benches);

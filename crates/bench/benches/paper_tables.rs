@@ -1,0 +1,115 @@
+//! One criterion bench per paper table, at reduced scale.
+//!
+//! Each bench runs the same experiment the `repro` binary regenerates in
+//! full, shrunk so criterion can sample it. The measured quantity is the
+//! wall time of a complete tuning session (baseline + iterations) —
+//! useful for tracking harness performance regressions. The *headline
+//! numbers* of each table are printed once per bench for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use db_bench::BenchmarkSpec;
+use elmo_tune::{EnvSpec, TuningConfig, TuningReport, TuningSession};
+use hw_sim::DeviceModel;
+use llm_client::{ExpertModel, QuirkConfig};
+use lsm_kvs::options::Options;
+
+const SCALE: f64 = 0.004; // 200k FR ops; keeps criterion sampling viable
+
+fn session(env: EnvSpec, spec: BenchmarkSpec, iterations: usize) -> TuningReport {
+    let mut model = ExpertModel::new(42, QuirkConfig::default());
+    TuningSession::new(env, spec, &mut model)
+        .with_config(TuningConfig {
+            iterations,
+            ..TuningConfig::default()
+        })
+        .run(Options::default())
+        .expect("session runs")
+}
+
+fn nvme(cores: usize, gib: u64) -> EnvSpec {
+    EnvSpec {
+        cores,
+        mem_gib: gib,
+        device: DeviceModel::nvme_ssd(),
+    }
+}
+
+fn bench_table1_and_2(c: &mut Criterion) {
+    // Tables 1 & 2 share the hardware-matrix runs.
+    let mut printed = false;
+    c.bench_function("paper/table1_table2_hw_matrix_fillrandom", |b| {
+        b.iter(|| {
+            let mut rows = Vec::new();
+            for (cores, gib) in [(2usize, 4u64), (4, 4)] {
+                let r = session(nvme(cores, gib), BenchmarkSpec::fillrandom(SCALE), 2);
+                rows.push((cores, gib, r));
+            }
+            if !printed {
+                printed = true;
+                for (cores, gib, r) in &rows {
+                    println!(
+                        "  table1/2 [{cores}c+{gib}g]: tput {:.0}->{:.0} ops/s, p99w {:.2}->{:.2} us",
+                        r.baseline.ops_per_sec,
+                        r.best.ops_per_sec,
+                        r.baseline.p99_write_us.unwrap_or(0.0),
+                        r.best.p99_write_us.unwrap_or(0.0)
+                    );
+                }
+            }
+            rows.len()
+        });
+    });
+}
+
+fn bench_table3_and_4(c: &mut Criterion) {
+    let mut printed = false;
+    c.bench_function("paper/table3_table4_workload_suite", |b| {
+        b.iter(|| {
+            let mut rows = Vec::new();
+            for spec in BenchmarkSpec::paper_suite(SCALE) {
+                rows.push(session(nvme(4, 4), spec, 2));
+            }
+            if !printed {
+                printed = true;
+                for r in &rows {
+                    println!(
+                        "  table3/4 [{}]: tput {:.0}->{:.0} ops/s ({:.2}x)",
+                        r.workload,
+                        r.baseline.ops_per_sec,
+                        r.best.ops_per_sec,
+                        r.throughput_improvement()
+                    );
+                }
+            }
+            rows.len()
+        });
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut printed = false;
+    c.bench_function("paper/table5_option_trajectory", |b| {
+        b.iter(|| {
+            let env = EnvSpec {
+                cores: 2,
+                mem_gib: 4,
+                device: DeviceModel::sata_hdd(),
+            };
+            let r = session(env, BenchmarkSpec::fillrandom(SCALE), 3);
+            let matrix = r.option_change_matrix();
+            assert!(!matrix.is_empty(), "the LLM must have changed something");
+            if !printed {
+                printed = true;
+                println!("  table5: {} options touched across 3 iterations", matrix.len());
+            }
+            matrix.len()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1_and_2, bench_table3_and_4, bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! `repro` — regenerates every table and figure of the ELMo-Tune paper.
+//!
+//! ```text
+//! repro [--scale <f64>] [--iters <n>] [--out <dir>] <experiment>
+//! ```
+//!
+//! Experiments: `table1 table2 table3 table4 table5 fig3 fig4 calibrate all`.
+//! See `EXPERIMENTS.md` for the experiment index and expected shapes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = elmo_bench::repro_main(&args) {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}

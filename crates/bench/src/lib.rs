@@ -1,0 +1,11 @@
+//! # elmo-bench — the reproduction harness
+//!
+//! Library backing the `repro` binary: one function per table/figure of
+//! the ELMo-Tune paper, plus calibration helpers. Criterion benches under
+//! `benches/` reuse these entry points at reduced scale.
+
+#![warn(missing_docs)]
+
+pub mod repro;
+
+pub use repro::repro_main;

@@ -1,0 +1,228 @@
+//! Benchmark Parser: extracts key datapoints from db_bench-style text
+//! output (paper Fig. 2, "extract key datapoints from benchmark output").
+//!
+//! The framework deliberately consumes the *textual* report — exactly
+//! what the paper's prototype scrapes from db_bench — so the parser must
+//! tolerate formatting noise.
+
+/// Key datapoints extracted from one benchmark report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedBench {
+    /// Benchmark name (`fillrandom`, ...).
+    pub workload: String,
+    /// Overall throughput, ops/sec.
+    pub ops_per_sec: f64,
+    /// Mean microseconds per operation.
+    pub micros_per_op: f64,
+    /// Operations completed.
+    pub ops: u64,
+    /// p99 write latency in microseconds, if reported.
+    pub p99_write_us: Option<f64>,
+    /// p99 read latency in microseconds, if reported.
+    pub p99_read_us: Option<f64>,
+    /// Block cache hit ratio 0..1, if reported.
+    pub cache_hit_ratio: Option<f64>,
+    /// Write-stall seconds, if reported.
+    pub stall_seconds: Option<f64>,
+    /// The run was aborted early by the monitor.
+    pub aborted: bool,
+}
+
+impl ParsedBench {
+    /// Renders the datapoints as the compact block embedded in prompts.
+    pub fn to_prompt_text(&self) -> String {
+        let mut out = format!(
+            "workload: {}\nthroughput: {:.0} ops/sec\naverage latency: {:.2} micros/op",
+            self.workload, self.ops_per_sec, self.micros_per_op
+        );
+        if let Some(v) = self.p99_write_us {
+            out.push_str(&format!("\nP99 write latency: {v:.2} us"));
+        }
+        if let Some(v) = self.p99_read_us {
+            out.push_str(&format!("\nP99 read latency: {v:.2} us"));
+        }
+        if let Some(v) = self.cache_hit_ratio {
+            out.push_str(&format!("\nblock cache hit ratio: {:.1}%", v * 100.0));
+        }
+        if let Some(v) = self.stall_seconds {
+            out.push_str(&format!("\nwrite stall seconds: {v:.3}"));
+        }
+        if self.aborted {
+            out.push_str("\nNOTE: the run was aborted early because throughput collapsed");
+        }
+        out
+    }
+
+    /// The objective value for latency comparison: worst reported p99.
+    pub fn worst_p99_us(&self) -> Option<f64> {
+        match (self.p99_write_us, self.p99_read_us) {
+            (Some(w), Some(r)) => Some(w.max(r)),
+            (Some(w), None) => Some(w),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Parses db_bench-style text into [`ParsedBench`].
+///
+/// Returns `None` when no headline benchmark line is present.
+pub fn parse_db_bench_output(text: &str) -> Option<ParsedBench> {
+    let mut parsed = ParsedBench::default();
+    let mut found_headline = false;
+    let mut current_hist: Option<&str> = None;
+
+    for line in text.lines() {
+        let t = line.trim();
+        if t.contains("micros/op") && t.contains("ops/sec") {
+            // "fillrandom   :      3.179 micros/op 314568 ops/sec ..."
+            if let Some((name, rest)) = t.split_once(':') {
+                parsed.workload = name.trim().to_string();
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                for (i, tok) in tokens.iter().enumerate() {
+                    if *tok == "micros/op" && i > 0 {
+                        parsed.micros_per_op = tokens[i - 1].parse().unwrap_or(0.0);
+                    }
+                    if *tok == "ops/sec" && i > 0 {
+                        parsed.ops_per_sec = tokens[i - 1].parse().unwrap_or(0.0);
+                    }
+                    if *tok == "operations;" || *tok == "operations" {
+                        if i > 0 {
+                            parsed.ops = tokens[i - 1].parse().unwrap_or(0);
+                        }
+                    }
+                }
+                found_headline = true;
+            }
+        } else if t.starts_with("Microseconds per ") {
+            current_hist = if t.contains("write") {
+                Some("write")
+            } else if t.contains("read") {
+                Some("read")
+            } else {
+                None
+            };
+        } else if t.starts_with("Percentiles:") {
+            if let Some(p99) = extract_after(t, "P99:") {
+                match current_hist {
+                    Some("write") => parsed.p99_write_us = Some(p99),
+                    Some("read") => parsed.p99_read_us = Some(p99),
+                    _ => {}
+                }
+            }
+        } else if t.contains("cache.hit.ratio") {
+            if let Some(v) = last_number(t) {
+                parsed.cache_hit_ratio = Some(v / 100.0);
+            }
+        } else if t.contains("stall.seconds") {
+            parsed.stall_seconds = last_number(t);
+        } else if t.contains("aborted early") {
+            parsed.aborted = true;
+        }
+    }
+    found_headline.then_some(parsed)
+}
+
+fn extract_after(text: &str, marker: &str) -> Option<f64> {
+    let pos = text.find(marker)?;
+    let tail = text[pos + marker.len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn last_number(text: &str) -> Option<f64> {
+    text.split_whitespace().rev().find_map(|t| t.parse::<f64>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+DB path: [/sim/db]
+fillrandom   :      3.179 micros/op 314568 ops/sec 158.940 seconds 50000000 operations;   34.8 MB/s
+Microseconds per write:
+Count: 50000000 Average: 3.1786
+Min: 1.00 Median: 2.53 Max: 123456.00
+Percentiles: P50: 2.53 P75: 3.10 P99: 5.82 P99.9: 12.40
+------------------------------------------------------
+STATISTICS:
+rocksdb.block.cache.hit.ratio PERCENT : 42.5
+rocksdb.stall.seconds SUM : 1.250
+";
+
+    #[test]
+    fn parses_headline() {
+        let p = parse_db_bench_output(SAMPLE).unwrap();
+        assert_eq!(p.workload, "fillrandom");
+        assert!((p.ops_per_sec - 314568.0).abs() < 1.0);
+        assert!((p.micros_per_op - 3.179).abs() < 1e-6);
+        assert_eq!(p.ops, 50_000_000);
+    }
+
+    #[test]
+    fn parses_percentiles_and_stats() {
+        let p = parse_db_bench_output(SAMPLE).unwrap();
+        assert_eq!(p.p99_write_us, Some(5.82));
+        assert_eq!(p.p99_read_us, None);
+        assert_eq!(p.cache_hit_ratio, Some(0.425));
+        assert_eq!(p.stall_seconds, Some(1.25));
+        assert!(!p.aborted);
+    }
+
+    #[test]
+    fn read_and_write_histograms_both_captured() {
+        let text = "\
+readrandomwriterandom :  75.0 micros/op 13217 ops/sec 100 seconds 25000000 operations; (22000000 of 23000000 found)
+Microseconds per write:
+Percentiles: P50: 10 P75: 20 P99: 57.32 P99.9: 100
+Microseconds per read:
+Percentiles: P50: 200 P75: 800 P99: 1463.61 P99.9: 3000
+";
+        let p = parse_db_bench_output(text).unwrap();
+        assert_eq!(p.p99_write_us, Some(57.32));
+        assert_eq!(p.p99_read_us, Some(1463.61));
+        assert_eq!(p.worst_p99_us(), Some(1463.61));
+    }
+
+    #[test]
+    fn aborted_flag_detected() {
+        let text = "x : 1.0 micros/op 10 ops/sec 1 seconds 10 operations;\nWARNING: benchmark aborted early by monitor\n";
+        assert!(parse_db_bench_output(text).unwrap().aborted);
+    }
+
+    #[test]
+    fn garbage_returns_none() {
+        assert!(parse_db_bench_output("nothing to see here").is_none());
+        assert!(parse_db_bench_output("").is_none());
+    }
+
+    #[test]
+    fn roundtrips_with_real_report() {
+        // End-to-end: run a tiny benchmark, render, parse.
+        use db_bench::{run_benchmark, BenchmarkSpec};
+        use lsm_kvs::{options::Options, Db};
+        let env = hw_sim::HardwareEnv::builder().build_sim();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let mut spec = BenchmarkSpec::fillrandom(1.0);
+        spec.num_ops = 2_000;
+        spec.key_space = 2_000;
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        let text = report.to_db_bench_text();
+        let parsed = parse_db_bench_output(&text).unwrap();
+        assert_eq!(parsed.workload, "fillrandom");
+        assert!((parsed.ops_per_sec - report.ops_per_sec).abs() / report.ops_per_sec < 0.01);
+        assert!(parsed.p99_write_us.is_some());
+    }
+
+    #[test]
+    fn prompt_text_lists_key_numbers() {
+        let p = parse_db_bench_output(SAMPLE).unwrap();
+        let text = p.to_prompt_text();
+        assert!(text.contains("throughput: 314568 ops/sec"));
+        assert!(text.contains("P99 write latency: 5.82 us"));
+        assert!(text.contains("stall seconds: 1.250"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Option Evaluator: extracting configuration changes from free-form
+//! LLM responses.
+//!
+//! The paper (§3, §4.2): responses arrive as "text, a singular code
+//! block, and an interleaving combination of both". The evaluator
+//! extracts `key=value` assignments from fenced code blocks (```/~~~,
+//! with or without a language tag), and "set X to Y"-style statements
+//! from the surrounding prose.
+
+/// Where an extracted change came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeOrigin {
+    /// Inside a fenced code block.
+    CodeBlock,
+    /// Parsed out of prose.
+    Prose,
+}
+
+/// One `name = value` assignment the model proposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposedChange {
+    /// Option name as written by the model.
+    pub name: String,
+    /// Value literal as written.
+    pub value: String,
+    /// Extraction source.
+    pub origin: ChangeOrigin,
+}
+
+/// The full extraction result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Evaluation {
+    /// Assignments in response order, later duplicates removed.
+    pub changes: Vec<ProposedChange>,
+    /// Number of fenced code blocks found.
+    pub code_blocks: usize,
+    /// True when the response contained neither a code block nor any
+    /// parseable assignment — the format checker then rejects it.
+    pub unparseable: bool,
+}
+
+/// Extracts proposed changes from a model response.
+pub fn evaluate_response(text: &str) -> Evaluation {
+    let mut eval = Evaluation::default();
+    let mut seen = std::collections::HashSet::new();
+
+    let segments = split_fences(text);
+    for seg in &segments {
+        match seg {
+            Segment::Code(body) => {
+                eval.code_blocks += 1;
+                for line in body.lines() {
+                    if let Some((name, value)) = parse_assignment_line(line) {
+                        push_unique(&mut eval.changes, &mut seen, name, value, ChangeOrigin::CodeBlock);
+                    }
+                }
+            }
+            Segment::Text(body) => {
+                for (name, value) in parse_prose(body) {
+                    push_unique(&mut eval.changes, &mut seen, name, value, ChangeOrigin::Prose);
+                }
+            }
+        }
+    }
+    eval.unparseable = eval.code_blocks == 0 && eval.changes.is_empty();
+    eval
+}
+
+fn push_unique(
+    changes: &mut Vec<ProposedChange>,
+    seen: &mut std::collections::HashSet<String>,
+    name: String,
+    value: String,
+    origin: ChangeOrigin,
+) {
+    let key = name.to_ascii_lowercase();
+    if seen.insert(key) {
+        changes.push(ProposedChange { name, value, origin });
+    }
+}
+
+enum Segment {
+    Text(String),
+    Code(String),
+}
+
+/// Splits on ``` and ~~~ fences. An optional language tag on the opening
+/// fence line is discarded.
+fn split_fences(text: &str) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut current = String::new();
+    let mut in_code = false;
+    let mut fence_token = "```";
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        let is_fence = trimmed.starts_with("```") || trimmed.starts_with("~~~");
+        if is_fence {
+            let token = &trimmed[..3];
+            if !in_code {
+                segments.push(Segment::Text(std::mem::take(&mut current)));
+                in_code = true;
+                fence_token = if token == "```" { "```" } else { "~~~" };
+            } else if trimmed.starts_with(fence_token) {
+                segments.push(Segment::Code(std::mem::take(&mut current)));
+                in_code = false;
+            } else {
+                current.push_str(line);
+                current.push('\n');
+            }
+            continue;
+        }
+        current.push_str(line);
+        current.push('\n');
+    }
+    if !current.is_empty() {
+        segments.push(if in_code {
+            Segment::Code(current)
+        } else {
+            Segment::Text(current)
+        });
+    }
+    segments
+}
+
+fn is_option_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.contains('_') // RocksDB option names are snake_case
+}
+
+fn is_value_literal(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_' | '%'))
+}
+
+/// Parses one `key=value` line from a code block (tolerates bullets,
+/// comments, quotes, and trailing commentary).
+fn parse_assignment_line(line: &str) -> Option<(String, String)> {
+    let t = line.trim().trim_start_matches(['-', '*', ' ']).trim();
+    if t.is_empty() || t.starts_with('[') || t.starts_with('#') || t.starts_with(';') {
+        return None;
+    }
+    let (k, v) = t.split_once('=')?;
+    let name = k.trim().trim_matches('`').trim_matches('"').to_string();
+    let mut value = v.trim().to_string();
+    // Cut trailing commentary: "= 4  # for 4 cores" / "= 4 (because...)".
+    for stop in ['#', ';', '('] {
+        if let Some(pos) = value.find(stop) {
+            value.truncate(pos);
+        }
+    }
+    let value = value.trim().trim_matches('`').trim_matches('"').trim_end_matches(',').to_string();
+    (is_option_name(&name) && is_value_literal(&value)).then_some((name, value))
+}
+
+/// Extracts "set X to Y", "change X to Y", "increase X to Y", and
+/// inline "`X` = Y" statements from prose.
+fn parse_prose(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let lower = text.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    for marker in [
+        "set ", "setting ", "change ", "changing ", "increase ", "increasing ",
+        "decrease ", "decreasing ", "raise ", "raising ", "lower ", "lowering ",
+    ] {
+        let mut from = 0;
+        while let Some(pos) = lower[from..].find(marker) {
+            let start = from + pos + marker.len();
+            from = start;
+            // Word boundary check: marker must start a word.
+            let abs = from - marker.len();
+            if abs > 0 && bytes[abs - 1].is_ascii_alphanumeric() {
+                continue;
+            }
+            let tail = &text[start..];
+            if let Some((name, value)) = parse_name_to_value(tail) {
+                out.push((name, value));
+            }
+        }
+    }
+    // Inline "`name` = value" or "name = value" statements in prose.
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('-') || t.starts_with('*') {
+            continue; // bullets are rationale, handled via markers
+        }
+        if let Some((name, value)) = parse_assignment_line(t) {
+            // Only accept prose assignments when the line looks like a
+            // standalone statement, not a sentence fragment.
+            if t.split_whitespace().count() <= 4 {
+                out.push((name, value));
+            }
+        }
+    }
+    out
+}
+
+/// Parses `<name> to <value>` / `<name> = <value>` after a verb marker.
+fn parse_name_to_value(tail: &str) -> Option<(String, String)> {
+    let tail = tail.trim_start();
+    let name_end = tail.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '`'))?;
+    let name = tail[..name_end].trim_matches('`').to_string();
+    if !is_option_name(&name) {
+        return None;
+    }
+    let rest = tail[name_end..].trim_start();
+    let rest = rest
+        .strip_prefix("to ")
+        .or_else(|| rest.strip_prefix("= "))
+        .or_else(|| rest.strip_prefix("=").map(str::trim_start))?;
+    let value_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_' | '%')))
+        .unwrap_or(rest.len());
+    let value = rest[..value_end].trim_end_matches('.').to_string();
+    is_value_literal(&value).then_some((name, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fenced_block() {
+        let text = "Here you go:\n```ini\n[DBOptions]\n  max_background_jobs=4\n  bytes_per_sync=1MB\n```\nGood luck!";
+        let e = evaluate_response(text);
+        assert_eq!(e.code_blocks, 1);
+        assert_eq!(e.changes.len(), 2);
+        assert_eq!(e.changes[0].name, "max_background_jobs");
+        assert_eq!(e.changes[1].value, "1MB");
+        assert!(!e.unparseable);
+    }
+
+    #[test]
+    fn bare_and_tilde_fences() {
+        let text = "```\nwrite_buffer_size=32MB\n```\nand\n~~~\nblock_size=16KB\n~~~";
+        let e = evaluate_response(text);
+        assert_eq!(e.code_blocks, 2);
+        assert_eq!(e.changes.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_text_and_blocks() {
+        let text = "For DB options:\n```ini\nmax_background_jobs=4\n```\nFor the column family:\n```ini\nwrite_buffer_size=64MB\n```\nAdditionally, set max_subcompactions to 2 — it helps.";
+        let e = evaluate_response(text);
+        assert_eq!(e.changes.len(), 3);
+        let prose = e.changes.iter().find(|c| c.name == "max_subcompactions").unwrap();
+        assert_eq!(prose.origin, ChangeOrigin::Prose);
+        assert_eq!(prose.value, "2");
+    }
+
+    #[test]
+    fn prose_variants() {
+        for (text, name, value) in [
+            ("You should set `block_cache_size` to 1024MB for this box.", "block_cache_size", "1024MB"),
+            ("I would increase max_write_buffer_number to 4.", "max_write_buffer_number", "4"),
+            ("Consider lowering level0_slowdown_writes_trigger to 12,", "level0_slowdown_writes_trigger", "12"),
+        ] {
+            let e = evaluate_response(text);
+            assert_eq!(e.changes.len(), 1, "{text}");
+            assert_eq!(e.changes[0].name, name);
+            assert_eq!(e.changes[0].value, value);
+        }
+    }
+
+    #[test]
+    fn duplicates_keep_first_occurrence() {
+        let text = "```\nwrite_buffer_size=32MB\nwrite_buffer_size=64MB\n```";
+        let e = evaluate_response(text);
+        assert_eq!(e.changes.len(), 1);
+        assert_eq!(e.changes[0].value, "32MB");
+    }
+
+    #[test]
+    fn comments_and_sections_skipped() {
+        let text = "```ini\n# tuned by llm\n[DBOptions]\n; note\n  max_background_jobs=4 # parallelism\n```";
+        let e = evaluate_response(text);
+        assert_eq!(e.changes.len(), 1);
+        assert_eq!(e.changes[0].value, "4");
+    }
+
+    #[test]
+    fn pure_prose_without_changes_is_unparseable() {
+        let e = evaluate_response("I think your configuration looks fine as is. Nice database!");
+        assert!(e.unparseable);
+        assert!(e.changes.is_empty());
+    }
+
+    #[test]
+    fn empty_code_block_is_not_unparseable() {
+        let e = evaluate_response("```\n\n```");
+        assert!(!e.unparseable, "a block was found, just empty");
+        assert!(e.changes.is_empty());
+    }
+
+    #[test]
+    fn narrative_sentences_do_not_produce_garbage() {
+        let text = "The write path is the bottleneck = a classic problem. We mostly care about p99.";
+        let e = evaluate_response(text);
+        assert!(e.changes.is_empty(), "{:?}", e.changes);
+    }
+
+    #[test]
+    fn expert_model_output_parses_fully() {
+        use llm_client::{ChatRequest, ExpertModel, LanguageModel, QuirkConfig};
+        for iteration in 1..=8u64 {
+            let mut model = ExpertModel::new(3, QuirkConfig::default());
+            let prompt = format!(
+                "CPU: 2 logical cores\nMemory: 4.00 GiB total\nStorage: SATA HDD\n\
+                 Workload: write-intensive fillrandom\nThis is iteration {iteration}.\n\
+                 Change at most 10 options."
+            );
+            let reply = model.complete(&ChatRequest::single_turn("g", &prompt)).unwrap();
+            let e = evaluate_response(&reply.content);
+            assert!(!e.unparseable, "iteration {iteration}: {}", reply.content);
+            assert!(!e.changes.is_empty(), "iteration {iteration}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Prompt generation: assembling the tuning prompt from system,
+//! workload, configuration, and feedback information.
+//!
+//! The paper's challenges §3 ask: *how much information is enough, what
+//! information first, and how to formulate the prompt?* The builder
+//! answers operationally: sections carry priorities, the prompt has a
+//! character budget, and lower-priority sections are truncated or
+//! dropped first.
+
+use hw_sim::{DeviceProbe, HardwareEnv, SystemSnapshot};
+
+use crate::bench_text::ParsedBench;
+
+/// One titled section of the prompt.
+#[derive(Debug, Clone)]
+pub struct PromptSection {
+    /// Markdown-ish heading.
+    pub title: String,
+    /// Body text.
+    pub content: String,
+    /// Higher survives budget pressure longer.
+    pub priority: u8,
+}
+
+/// Assembles sections into a budgeted prompt.
+#[derive(Debug)]
+pub struct PromptBuilder {
+    sections: Vec<PromptSection>,
+    budget_chars: usize,
+}
+
+impl PromptBuilder {
+    /// Creates a builder with a character budget (a proxy for the
+    /// context-window limit of the target LLM).
+    pub fn new(budget_chars: usize) -> Self {
+        PromptBuilder {
+            sections: Vec::new(),
+            budget_chars: budget_chars.max(500),
+        }
+    }
+
+    /// Adds a section.
+    pub fn section(
+        &mut self,
+        title: impl Into<String>,
+        content: impl Into<String>,
+        priority: u8,
+    ) -> &mut Self {
+        self.sections.push(PromptSection {
+            title: title.into(),
+            content: content.into(),
+            priority,
+        });
+        self
+    }
+
+    /// Renders the prompt: sections appear in *insertion order*, but when
+    /// the budget is exceeded the lowest-priority sections are truncated
+    /// (then dropped) first.
+    pub fn render(&self) -> String {
+        let mut keep: Vec<(usize, String)> = self
+            .sections
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("## {}\n{}\n", s.title, s.content)))
+            .collect();
+        let total = |parts: &[(usize, String)]| parts.iter().map(|(_, t)| t.len()).sum::<usize>();
+
+        // Trim lowest-priority sections until the budget fits.
+        let mut order: Vec<usize> = (0..self.sections.len()).collect();
+        order.sort_by_key(|i| self.sections[*i].priority);
+        for &victim in &order {
+            if total(&keep) <= self.budget_chars {
+                break;
+            }
+            let over = total(&keep) - self.budget_chars;
+            let entry = keep.iter_mut().find(|(i, _)| *i == victim).expect("present");
+            if entry.1.len() <= over + 40 {
+                entry.1.clear(); // drop entirely
+            } else {
+                let keep_len = entry.1.len() - over - 20;
+                let mut cut = keep_len;
+                while cut > 0 && !entry.1.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                entry.1.truncate(cut);
+                entry.1.push_str("\n[...truncated...]\n");
+            }
+        }
+        keep.into_iter().map(|(_, t)| t).filter(|t| !t.is_empty()).collect()
+    }
+}
+
+/// Everything the prompt generator interlaces (paper Fig. 2, "automatic
+/// prompt generation ... from collated data").
+#[derive(Debug)]
+pub struct PromptContext<'a> {
+    /// The environment the last benchmark ran on (monitors are read from
+    /// here — the psutil/fio role).
+    pub env: &'a HardwareEnv,
+    /// Natural-language workload description from the user/spec.
+    pub workload: &'a str,
+    /// Current configuration as ini text.
+    pub options_ini: &'a str,
+    /// 1-based tuning iteration about to run.
+    pub iteration: usize,
+    /// Parsed result of the previous benchmark, if any.
+    pub last_result: Option<&'a ParsedBench>,
+    /// Best throughput seen so far (ops/sec).
+    pub best_throughput: Option<f64>,
+    /// The previous proposal regressed and was reverted.
+    pub deteriorated: bool,
+    /// Safeguard complaints about the previous response, fed back so the
+    /// model can correct itself.
+    pub violation_feedback: &'a [String],
+    /// Cap on option changes per iteration.
+    pub max_changes: usize,
+}
+
+/// Builds the full tuning prompt for one iteration.
+pub fn build_tuning_prompt(ctx: &PromptContext<'_>, budget_chars: usize) -> String {
+    let mut b = PromptBuilder::new(budget_chars);
+    b.section(
+        "Role",
+        "You are an expert database administrator specializing in tuning RocksDB-style \
+         LSM-tree key-value stores. You tune by editing the OPTIONS (ini) file.",
+        10,
+    );
+    b.section(
+        "Task",
+        format!(
+            "This is tuning iteration {}. Propose improved configuration values for the \
+             workload and hardware below. Change at most {} options. Respond with a short \
+             explanation and the changed options in an ini code block using the sections \
+             [DBOptions], [CFOptions \"default\"], and [TableOptions/BlockBasedTable \"default\"]. \
+             Do not disable journaling, logging, or crash-safety features.",
+            ctx.iteration, ctx.max_changes
+        ),
+        9,
+    );
+    b.section("Expected workload", ctx.workload.to_string(), 8);
+
+    let snapshot = SystemSnapshot::capture(ctx.env);
+    b.section("System information (live)", snapshot.to_prompt_text(), 7);
+    let probe = DeviceProbe::run(ctx.env);
+    b.section("Storage device probe", probe.to_prompt_text(), 4);
+
+    if let Some(last) = ctx.last_result {
+        let mut text = last.to_prompt_text();
+        if let Some(best) = ctx.best_throughput {
+            text.push_str(&format!("\nBest throughput so far: {best:.0} ops/sec"));
+        }
+        b.section("Previous benchmark result", text, 6);
+    }
+    if ctx.deteriorated {
+        b.section(
+            "Feedback",
+            "The previous configuration change DETERIORATED performance and was reverted. \
+             The configuration below is the restored known-good one; try a different approach.",
+            6,
+        );
+    }
+    if !ctx.violation_feedback.is_empty() {
+        b.section(
+            "Rejected suggestions",
+            format!(
+                "These earlier suggestions were rejected by safeguards; do not repeat them:\n{}",
+                ctx.violation_feedback.join("\n")
+            ),
+            6,
+        );
+    }
+    b.section("Current configuration (ini)", ctx.options_ini.to_string(), 5);
+    b.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_sim::DeviceModel;
+
+    fn env() -> HardwareEnv {
+        HardwareEnv::builder()
+            .cores(2)
+            .memory_gib(4)
+            .device(DeviceModel::sata_hdd())
+            .build_sim()
+    }
+
+    fn ctx_prompt(budget: usize) -> String {
+        let env = env();
+        let ini = lsm_kvs::options::ini::to_ini(&lsm_kvs::options::Options::default());
+        let ctx = PromptContext {
+            env: &env,
+            workload: "write-intensive: insert 50M key-value pairs in random order",
+            options_ini: &ini,
+            iteration: 3,
+            last_result: None,
+            best_throughput: Some(61000.0),
+            deteriorated: true,
+            violation_feedback: &["disable_wal=true (protected option)".to_string()],
+            max_changes: 10,
+        };
+        build_tuning_prompt(&ctx, budget)
+    }
+
+    #[test]
+    fn prompt_contains_every_section_kind() {
+        let p = ctx_prompt(50_000);
+        for needle in [
+            "expert database administrator",
+            "iteration 3",
+            "at most 10 options",
+            "write-intensive",
+            "logical cores",
+            "fio probe",
+            "DETERIORATED",
+            "do not repeat them",
+            "[DBOptions]",
+            "write_buffer_size=",
+        ] {
+            assert!(p.contains(needle), "missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn budget_truncates_low_priority_first() {
+        let full = ctx_prompt(50_000);
+        let tight = ctx_prompt(2_000);
+        assert!(tight.len() < full.len());
+        assert!(tight.len() <= 2_600, "roughly respects the budget: {}", tight.len());
+        // The role/task survive; the big options dump gets cut.
+        assert!(tight.contains("expert database administrator"));
+        assert!(tight.contains("iteration 3"));
+    }
+
+    #[test]
+    fn sections_render_in_insertion_order() {
+        let mut b = PromptBuilder::new(10_000);
+        b.section("First", "aaa", 1);
+        b.section("Second", "bbb", 9);
+        let out = b.render();
+        assert!(out.find("First").unwrap() < out.find("Second").unwrap());
+    }
+
+    #[test]
+    fn truncation_marks_the_cut() {
+        let mut b = PromptBuilder::new(600);
+        b.section("Keep", "short and important", 9);
+        b.section("Big", "x".repeat(2_000), 1);
+        let out = b.render();
+        assert!(out.contains("short and important"));
+        assert!(out.contains("[...truncated...]") || !out.contains("Big"));
+    }
+
+    #[test]
+    fn expert_model_understands_generated_prompt() {
+        use llm_client::{ChatRequest, ExpertModel, LanguageModel};
+        let prompt = ctx_prompt(20_000);
+        let mut model = ExpertModel::well_behaved(1);
+        let reply = model.complete(&ChatRequest::single_turn("gpt-4", &prompt)).unwrap();
+        // The expert saw a 2-core / 4 GiB / HDD write-heavy system.
+        assert!(reply.content.contains("2 CPU cores"), "{}", reply.content);
+        assert!(reply.content.contains("write-intensive"));
+        assert!(reply.content.contains("```"));
+    }
+}

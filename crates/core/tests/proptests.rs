@@ -1,0 +1,73 @@
+//! Property-based tests: the evaluator/safeguard pipeline is total over
+//! arbitrary model output.
+
+use proptest::prelude::*;
+
+use elmo_tune::{evaluate_response, parse_db_bench_output, vet, SafeguardPolicy};
+use lsm_kvs::options::Options;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any string whatsoever can be evaluated and vetted without panics,
+    /// and the vetted configuration always validates.
+    #[test]
+    fn evaluate_and_vet_are_total(text in ".{0,2000}") {
+        let eval = evaluate_response(&text);
+        let outcome = vet(&Options::default(), &eval.changes, &SafeguardPolicy::default());
+        outcome.options.validate().unwrap();
+        prop_assert!(!outcome.options.disable_wal);
+    }
+
+    /// Structured assignments embedded anywhere in a fenced block are
+    /// recovered verbatim.
+    #[test]
+    fn fenced_assignments_are_recovered(
+        prefix in "[a-zA-Z ,.]{0,80}",
+        value in 1u64..1u64 << 40,
+        suffix in "[a-zA-Z ,.]{0,80}",
+    ) {
+        let text = format!("{prefix}\n```ini\nwrite_buffer_size={value}\n```\n{suffix}");
+        let eval = evaluate_response(&text);
+        let change = eval.changes.iter().find(|c| c.name == "write_buffer_size");
+        prop_assert!(change.is_some());
+        prop_assert_eq!(&change.unwrap().value, &value.to_string());
+    }
+
+    /// The benchmark-output parser never panics on arbitrary text.
+    #[test]
+    fn bench_parser_is_total(text in ".{0,2000}") {
+        let _ = parse_db_bench_output(&text);
+    }
+
+    /// Throughput round-trips through the report text within 1%.
+    #[test]
+    fn headline_numbers_roundtrip(tput in 1.0f64..1e7, micros in 0.1f64..1e5) {
+        let text = format!(
+            "fillrandom   :  {micros:.3} micros/op {} ops/sec 10.0 seconds 1000 operations;",
+            tput.round()
+        );
+        let parsed = parse_db_bench_output(&text).unwrap();
+        prop_assert!((parsed.ops_per_sec - tput.round()).abs() <= 1.0);
+        prop_assert!((parsed.micros_per_op - micros).abs() / micros < 0.01);
+    }
+
+    /// Vetting is monotone in the blacklist: protecting an option can
+    /// only shrink the applied set.
+    #[test]
+    fn protecting_shrinks_applied(seed in any::<u64>()) {
+        use llm_client::{ChatRequest, ExpertModel, LanguageModel, QuirkConfig};
+        let mut model = ExpertModel::new(seed, QuirkConfig::none());
+        let prompt = "2 logical cores, 4 GiB total, SATA HDD, write-intensive workload. \
+                      This is iteration 1. Change at most 10 options.";
+        let reply = model.complete(&ChatRequest::single_turn("g", prompt)).unwrap();
+        let eval = evaluate_response(&reply.content);
+        let open = vet(&Options::default(), &eval.changes, &SafeguardPolicy::default());
+        let mut strict_policy = SafeguardPolicy::default();
+        strict_policy.protect("write_buffer_size");
+        strict_policy.protect("max_background_jobs");
+        let strict = vet(&Options::default(), &eval.changes, &strict_policy);
+        prop_assert!(strict.applied.len() <= open.applied.len());
+        prop_assert!(!strict.applied.iter().any(|a| a.name == "write_buffer_size"));
+    }
+}

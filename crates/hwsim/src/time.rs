@@ -1,0 +1,338 @@
+//! Simulated time primitives.
+//!
+//! All simulation state in this crate is expressed in nanoseconds on a
+//! virtual timeline. [`SimTime`] is an instant on that timeline and
+//! [`SimDuration`] a span between instants. Both are thin newtypes over
+//! `u64` so arithmetic stays cheap while the type system keeps instants
+//! and spans from being confused.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// An instant on the virtual timeline, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use hw_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(5);
+/// assert_eq!(t.as_nanos(), 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use hw_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros_f64(), 2_500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the virtual timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the instant as nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of `self` and `other`.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, saturating on overflow or
+    /// negative input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 || !secs.is_finite() {
+            return SimDuration(0);
+        }
+        SimDuration((secs * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Returns the span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales the span by `factor`, saturating at the representable range.
+    ///
+    /// Used for memory-pressure and contention penalty multipliers.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// A monotone clock shared between a workload driver and the components it
+/// drives.
+///
+/// In simulation mode the driver owns the timeline: it positions the clock
+/// at a client thread's virtual time before issuing an operation, the
+/// component [`advance`](Clock::advance)s it by the operation's modeled
+/// cost, and the driver reads the new position afterwards. In wall mode the
+/// clock reflects real elapsed time and `advance`/`advance_to` are no-ops.
+#[derive(Debug)]
+pub struct Clock {
+    mode: ClockMode,
+}
+
+#[derive(Debug)]
+enum ClockMode {
+    /// Virtual time, explicitly driven.
+    Sim(AtomicU64),
+    /// Wall-clock time measured from construction.
+    Wall(Instant),
+}
+
+impl Clock {
+    /// Creates a virtual clock positioned at time zero.
+    pub fn sim() -> Self {
+        Clock {
+            mode: ClockMode::Sim(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates a wall clock whose origin is "now".
+    pub fn wall() -> Self {
+        Clock {
+            mode: ClockMode::Wall(Instant::now()),
+        }
+    }
+
+    /// Returns `true` when this is a virtual (simulated) clock.
+    pub fn is_sim(&self) -> bool {
+        matches!(self.mode, ClockMode::Sim(_))
+    }
+
+    /// Returns the current position of the clock.
+    pub fn now(&self) -> SimTime {
+        match &self.mode {
+            ClockMode::Sim(t) => SimTime(t.load(Ordering::Acquire)),
+            ClockMode::Wall(base) => SimTime(base.elapsed().as_nanos() as u64),
+        }
+    }
+
+    /// Moves a virtual clock forward by `d`. No-op for wall clocks.
+    pub fn advance(&self, d: SimDuration) {
+        if let ClockMode::Sim(t) = &self.mode {
+            t.fetch_add(d.0, Ordering::AcqRel);
+        }
+    }
+
+    /// Moves a virtual clock forward to `target` if `target` is later than
+    /// the current position. No-op for wall clocks.
+    pub fn advance_to(&self, target: SimTime) {
+        if let ClockMode::Sim(t) = &self.mode {
+            t.fetch_max(target.0, Ordering::AcqRel);
+        }
+    }
+
+    /// Positions a virtual clock at exactly `target` (which may move it
+    /// backwards between independent client timelines). No-op for wall
+    /// clocks.
+    pub fn set(&self, target: SimTime) {
+        if let ClockMode::Sim(t) = &self.mode {
+            t.store(target.0, Ordering::Release);
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::sim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_convert_between_units() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_nanos(), 3_000_000_000);
+        assert!((SimDuration::from_secs_f64(0.5).as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(30);
+        assert_eq!((a - b), SimDuration::ZERO);
+        assert_eq!((b - a).as_nanos(), 20);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sim_clock_advances_and_sets() {
+        let c = Clock::sim();
+        assert!(c.is_sim());
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_micros(7));
+        assert_eq!(c.now().as_nanos(), 7_000);
+        c.advance_to(SimTime::from_nanos(5_000));
+        assert_eq!(c.now().as_nanos(), 7_000, "advance_to never rewinds");
+        c.advance_to(SimTime::from_nanos(9_000));
+        assert_eq!(c.now().as_nanos(), 9_000);
+        c.set(SimTime::from_nanos(100));
+        assert_eq!(c.now().as_nanos(), 100, "set may rewind");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_ignores_advance() {
+        let c = Clock::wall();
+        assert!(!c.is_sim());
+        let t0 = c.now();
+        c.advance(SimDuration::from_secs(1000));
+        let t1 = c.now();
+        assert!(t1.as_nanos() < t0.as_nanos() + 1_000_000_000);
+        assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.00us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d.mul_f64(2.0).as_nanos(), 200_000);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the hardware model's invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hw_sim::{AccessPattern, CpuPool, Device, DeviceModel, MemoryBudget, MemoryUser, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Device completions never run backwards: a later submission on the
+    /// same device completes no earlier than an identical earlier one.
+    #[test]
+    fn device_completions_are_monotone(lens in vec(1u64..1 << 20, 1..50)) {
+        let dev = Device::new(DeviceModel::sata_hdd()); // single channel
+        let mut last = SimTime::ZERO;
+        for len in lens {
+            let done = dev.submit_read(SimTime::ZERO, len, AccessPattern::Random);
+            prop_assert!(done >= last);
+            last = done;
+        }
+    }
+
+    /// A device with more channels never finishes a workload later than
+    /// the same device with fewer channels.
+    #[test]
+    fn more_channels_never_hurt(lens in vec(1u64..1 << 18, 1..40)) {
+        let mut narrow_model = DeviceModel::nvme_ssd();
+        narrow_model.channels = 1;
+        let narrow = Device::new(narrow_model);
+        let wide = Device::new(DeviceModel::nvme_ssd()); // 16 channels
+        let mut narrow_done = SimTime::ZERO;
+        let mut wide_done = SimTime::ZERO;
+        for len in &lens {
+            narrow_done = narrow_done.max(narrow.submit_read(SimTime::ZERO, *len, AccessPattern::Random));
+            wide_done = wide_done.max(wide.submit_read(SimTime::ZERO, *len, AccessPattern::Random));
+        }
+        prop_assert!(wide_done <= narrow_done);
+    }
+
+    /// CPU pool conservation: total busy time equals the sum of job costs
+    /// regardless of scheduling order.
+    #[test]
+    fn cpu_busy_time_is_conserved(costs in vec(1u64..10_000_000, 1..60)) {
+        let pool = CpuPool::new(4);
+        let mut total = 0u64;
+        for c in &costs {
+            pool.run(SimTime::ZERO, SimDuration::from_nanos(*c));
+            total += *c;
+        }
+        prop_assert_eq!(pool.counters().busy_nanos, total);
+        prop_assert_eq!(pool.counters().jobs, costs.len() as u64);
+    }
+
+    /// Jobs on a k-core pool never finish later than on a 1-core pool.
+    #[test]
+    fn parallelism_never_hurts(costs in vec(1u64..10_000_000, 1..40)) {
+        let single = CpuPool::new(1);
+        let quad = CpuPool::new(4);
+        let mut single_end = SimTime::ZERO;
+        let mut quad_end = SimTime::ZERO;
+        for c in &costs {
+            single_end = single_end.max(single.run(SimTime::ZERO, SimDuration::from_nanos(*c)).end);
+            quad_end = quad_end.max(quad.run(SimTime::ZERO, SimDuration::from_nanos(*c)).end);
+        }
+        prop_assert!(quad_end <= single_end);
+    }
+
+    /// Memory accounting: reserve/release sequences keep usage equal to
+    /// the running sum, and the penalty factor is monotone in usage.
+    #[test]
+    fn memory_accounting_balances(deltas in vec((any::<bool>(), 1u64..1 << 26), 1..80)) {
+        let mem = MemoryBudget::gib(1);
+        let mut running: u64 = 0;
+        let mut last_penalty = 1.0f64;
+        let mut last_usage = 0u64;
+        for (grow, bytes) in deltas {
+            if grow {
+                mem.reserve(MemoryUser::Misc, bytes);
+                running = running.saturating_add(bytes);
+            } else {
+                let take = bytes.min(running);
+                mem.release(MemoryUser::Misc, take);
+                running -= take;
+            }
+            prop_assert_eq!(mem.used(), running);
+            let p = mem.penalty_factor();
+            if running >= last_usage {
+                prop_assert!(p >= last_penalty - 1e-9);
+            }
+            last_penalty = p;
+            last_usage = running;
+        }
+    }
+
+    /// Cost model sanity over arbitrary transfer sizes: larger transfers
+    /// never cost less, random never beats sequential.
+    #[test]
+    fn device_costs_are_sane(a in 1u64..1 << 24, b in 1u64..1 << 24) {
+        let model = DeviceModel::sata_hdd();
+        let (small, large) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(
+            model.read_cost(small, AccessPattern::Sequential)
+                <= model.read_cost(large, AccessPattern::Sequential)
+        );
+        prop_assert!(
+            model.read_cost(a, AccessPattern::Sequential) <= model.read_cost(a, AccessPattern::Random)
+        );
+        prop_assert!(
+            model.write_cost(a, AccessPattern::Sequential) <= model.write_cost(a, AccessPattern::Random)
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Chat-completion API types and the [`LanguageModel`] trait.
+//!
+//! The types mirror the OpenAI chat-completions wire format (the paper
+//! drives GPT-4 through that API), so the same framework code can talk
+//! to the built-in expert simulator, a scripted replay, or any
+//! OpenAI-compatible endpoint.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Who authored a chat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Role {
+    /// System instructions.
+    System,
+    /// The tuning framework's prompt.
+    User,
+    /// The model's reply.
+    Assistant,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// Author role.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// A chat-completion request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatRequest {
+    /// Target model name (e.g. `gpt-4`).
+    pub model: String,
+    /// Conversation so far; the last user message is the active prompt.
+    pub messages: Vec<ChatMessage>,
+    /// Sampling temperature.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub temperature: Option<f64>,
+    /// Completion length cap.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub max_tokens: Option<u32>,
+}
+
+impl ChatRequest {
+    /// A single-turn request with one user message.
+    pub fn single_turn(model: impl Into<String>, prompt: impl Into<String>) -> Self {
+        ChatRequest {
+            model: model.into(),
+            messages: vec![ChatMessage::user(prompt)],
+            temperature: None,
+            max_tokens: None,
+        }
+    }
+
+    /// The text of the most recent user message (the active prompt).
+    pub fn last_user_content(&self) -> &str {
+        self.messages
+            .iter()
+            .rev()
+            .find(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Token accounting, as reported by OpenAI-compatible servers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Usage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: u64,
+    /// Tokens generated.
+    pub completion_tokens: u64,
+}
+
+/// A chat-completion response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatResponse {
+    /// Completion text.
+    pub content: String,
+    /// The responding model's name.
+    pub model: String,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+/// Errors from a language-model backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LlmError {
+    /// Network/socket failure.
+    Transport(String),
+    /// The server replied with something unparseable or an error status.
+    Protocol(String),
+    /// A scripted model ran out of canned responses.
+    Exhausted,
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::Transport(m) => write!(f, "transport error: {m}"),
+            LlmError::Protocol(m) => write!(f, "protocol error: {m}"),
+            LlmError::Exhausted => write!(f, "scripted model has no responses left"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// A language model that completes chat requests.
+///
+/// Implemented by [`crate::ExpertModel`] (the deterministic GPT-4
+/// tuning-expert simulator), [`crate::ScriptedModel`] (test replay), and
+/// [`crate::HttpChatModel`] (OpenAI-compatible endpoints).
+pub trait LanguageModel: Send {
+    /// A short identifier for logs/reports.
+    fn name(&self) -> &str;
+
+    /// Completes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError`] on transport or protocol failures.
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_turn_exposes_prompt() {
+        let req = ChatRequest::single_turn("gpt-4", "tune my database");
+        assert_eq!(req.last_user_content(), "tune my database");
+        assert_eq!(req.model, "gpt-4");
+    }
+
+    #[test]
+    fn last_user_message_wins() {
+        let mut req = ChatRequest::single_turn("gpt-4", "first");
+        req.messages.push(ChatMessage::assistant("reply"));
+        req.messages.push(ChatMessage::user("second"));
+        assert_eq!(req.last_user_content(), "second");
+    }
+
+    #[test]
+    fn request_serializes_openai_style() {
+        let req = ChatRequest::single_turn("gpt-4", "hi");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"model\":\"gpt-4\""));
+        assert!(json.contains("\"role\":\"user\""));
+        assert!(!json.contains("temperature"), "skipped when None");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(LlmError::Exhausted.to_string().contains("no responses"));
+        assert!(LlmError::Transport("refused".into()).to_string().contains("refused"));
+    }
+}

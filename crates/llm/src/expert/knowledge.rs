@@ -1,0 +1,395 @@
+//! The expert's tuning knowledge base.
+//!
+//! Encodes the heuristics an LLM absorbs from RocksDB tuning guides,
+//! blog posts, and source code — the paper observes that "the model
+//! responds in patterns similar to online blogs, preferring the same
+//! configuration options". Values oscillate across iterations the way
+//! GPT-4 does in the paper's Table 5 (experimenting, then settling).
+
+use crate::expert::attention::{PromptFacts, WorkloadClass};
+
+/// One recommended option change.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Option name (RocksDB-compatible).
+    pub name: String,
+    /// Proposed value, as the model would write it ("64MB", "true").
+    pub value: String,
+    /// One-line rationale included in the response prose.
+    pub rationale: String,
+    /// Higher = suggested earlier.
+    pub priority: u8,
+}
+
+fn rec(name: &str, value: impl Into<String>, rationale: &str, priority: u8) -> Recommendation {
+    Recommendation {
+        name: name.to_string(),
+        value: value.into(),
+        rationale: rationale.to_string(),
+        priority,
+    }
+}
+
+/// Produces the full, ordered recommendation list for the observed
+/// system. The policy layer filters against current values, caps the
+/// count, and applies quirks.
+pub fn recommend(facts: &PromptFacts) -> Vec<Recommendation> {
+    let cores = facts.cores.unwrap_or(4);
+    let mem_gib = facts.mem_gib.unwrap_or(8.0);
+    let rotational = facts.rotational.unwrap_or(false);
+    let iter = facts.iteration.max(1);
+    // Oscillation helpers: the expert "experiments" across iterations.
+    let osc = |a: &str, b: &str| if iter % 2 == 1 { a.to_string() } else { b.to_string() };
+    let mut out = Vec::new();
+
+    // ---- Universal background parallelism (every blog's first advice) ----
+    let jobs = (cores + 2).clamp(2, 8);
+    out.push(rec(
+        "max_background_jobs",
+        (jobs - (iter % 2)).max(2).to_string(),
+        "scale background parallelism to the CPU budget",
+        9,
+    ));
+    out.push(rec(
+        "max_background_compactions",
+        ((jobs * 3) / 4 + iter % 2).max(2).to_string(),
+        "allow compactions to run concurrently",
+        8,
+    ));
+    out.push(rec(
+        "max_background_flushes",
+        (2 - (iter % 2)).max(1).to_string(),
+        "dedicated flush slots prevent memtable backlog",
+        7,
+    ));
+    out.push(rec(
+        "dump_malloc_stats",
+        "false",
+        "allocator stat dumps add overhead with no tuning benefit",
+        3,
+    ));
+    if cores < 4 {
+        out.push(rec(
+            "enable_pipelined_write",
+            "false",
+            "pipelined writes add coordination overhead on few cores",
+            4,
+        ));
+    }
+
+    let write_side = matches!(facts.workload, WorkloadClass::WriteHeavy | WorkloadClass::Mixed);
+    let read_side = matches!(facts.workload, WorkloadClass::ReadHeavy | WorkloadClass::Mixed);
+
+    // ---- Write path ----
+    if write_side {
+        if mem_gib <= 4.0 {
+            out.push(rec(
+                "write_buffer_size",
+                osc("32MB", "64MB"),
+                "smaller memtables respect the tight memory budget",
+                9,
+            ));
+        } else {
+            out.push(rec(
+                "write_buffer_size",
+                "128MB",
+                "larger memtables absorb more writes before flushing",
+                9,
+            ));
+        }
+        out.push(rec(
+            "max_write_buffer_number",
+            (3 + (iter / 2) % 3).to_string(),
+            "extra memtables absorb write bursts while flushes catch up",
+            8,
+        ));
+        out.push(rec(
+            "min_write_buffer_number_to_merge",
+            (1 + iter % 3).to_string(),
+            "merging memtables before flush writes larger, fewer L0 files",
+            6,
+        ));
+        out.push(rec(
+            "wal_bytes_per_sync",
+            osc("1MB", "512KB"),
+            "incremental WAL syncs smooth writeback and cut p99 spikes",
+            8,
+        ));
+        out.push(rec(
+            "bytes_per_sync",
+            osc("1MB", "512KB"),
+            "incremental SST syncs avoid bursty page-cache flushes",
+            8,
+        ));
+        if iter >= 4 {
+            out.push(rec(
+                "strict_bytes_per_sync",
+                "true",
+                "bound the amount of unsynced data for steadier latency",
+                5,
+            ));
+        }
+        out.push(rec(
+            "level0_file_num_compaction_trigger",
+            osc("6", "4"),
+            "a deeper L0 batches more data per compaction",
+            6,
+        ));
+        out.push(rec(
+            "level0_slowdown_writes_trigger",
+            "30",
+            "push back the throttling point to avoid premature slowdowns",
+            5,
+        ));
+        out.push(rec(
+            "level0_stop_writes_trigger",
+            "48",
+            "keep headroom between slowdown and full stop",
+            5,
+        ));
+        out.push(rec(
+            "max_bytes_for_level_multiplier",
+            "8",
+            "a gentler level fan-out reduces per-compaction work",
+            4,
+        ));
+        if rotational {
+            out.push(rec(
+                "compaction_readahead_size",
+                osc("4MB", "2MB"),
+                "large sequential readahead hides HDD seek latency during compaction",
+                8,
+            ));
+            out.push(rec(
+                "target_file_size_base",
+                osc("32MB", "64MB"),
+                "smaller files give finer-grained compactions on slow disks",
+                5,
+            ));
+        }
+        if cores <= 2 {
+            out.push(rec(
+                "compression",
+                "lz4",
+                "lz4 costs far less CPU than snappy on a small core budget",
+                5,
+            ));
+        }
+        if cores >= 4 {
+            out.push(rec(
+                "max_subcompactions",
+                "2",
+                "split large compactions across spare cores",
+                5,
+            ));
+        }
+        out.push(rec(
+            "delayed_write_rate",
+            "64MB",
+            "a higher delayed rate softens throttling when it does engage",
+            3,
+        ));
+    }
+
+    // ---- Read path ----
+    if read_side {
+        out.push(rec(
+            "bloom_filter_bits_per_key",
+            "10",
+            "bloom filters skip SSTs that cannot contain the key — the single biggest point-lookup win",
+            10,
+        ));
+        let cache_mb = ((mem_gib * 1024.0) / 4.0).round() as u64;
+        out.push(rec(
+            "block_cache_size",
+            format!("{cache_mb}MB"),
+            "dedicate about a quarter of RAM to the block cache",
+            10,
+        ));
+        out.push(rec(
+            "cache_index_and_filter_blocks",
+            "true",
+            "account index/filter blocks in the cache budget",
+            6,
+        ));
+        out.push(rec(
+            "pin_l0_filter_and_index_blocks_in_cache",
+            "true",
+            "keep hot L0 metadata resident",
+            6,
+        ));
+        out.push(rec(
+            "memtable_prefix_bloom_size_ratio",
+            "0.1",
+            "a memtable bloom filter short-circuits misses before any probe",
+            4,
+        ));
+        if rotational {
+            out.push(rec(
+                "block_size",
+                "16KB",
+                "bigger blocks amortize HDD seeks across more data",
+                5,
+            ));
+        }
+        if iter >= 5 {
+            out.push(rec(
+                "optimize_filters_for_hits",
+                "true",
+                "skip last-level filters when most lookups succeed",
+                3,
+            ));
+        }
+    }
+
+    // ---- Mixed-specific: protect reads from background I/O ----
+    if facts.workload == WorkloadClass::Mixed && rotational {
+        out.push(rec(
+            "rate_limiter_bytes_per_sec",
+            "80MB",
+            "cap compaction I/O so foreground reads keep disk time",
+            6,
+        ));
+    }
+
+    out.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Applies the "memory budget" discipline the paper highlights: shrink
+/// the block cache if buffers + cache would exceed ~60% of RAM.
+/// Returns a note when an adjustment happened.
+pub fn enforce_memory_budget(facts: &PromptFacts, recs: &mut Vec<Recommendation>) -> Option<String> {
+    let mem_bytes = (facts.mem_gib.unwrap_or(8.0) * (1u64 << 30) as f64) as u64;
+    let budget = (mem_bytes as f64 * 0.6) as u64;
+
+    let size_of = |recs: &[Recommendation], name: &str, fallback: u64| -> u64 {
+        recs.iter()
+            .find(|r| r.name == name)
+            .and_then(|r| lsm_kvs::options::registry::parse_size(&r.value))
+            .unwrap_or(fallback)
+    };
+    let wbs = size_of(recs, "write_buffer_size", 64 << 20);
+    let nbuf = recs
+        .iter()
+        .find(|r| r.name == "max_write_buffer_number")
+        .and_then(|r| r.value.parse::<u64>().ok())
+        .unwrap_or(2);
+    let cache = size_of(recs, "block_cache_size", 8 << 20);
+    let total = wbs * nbuf + cache;
+    if total <= budget {
+        return None;
+    }
+    let new_cache = budget.saturating_sub(wbs * nbuf).max(64 << 20);
+    let new_mb = new_cache >> 20;
+    for r in recs.iter_mut() {
+        if r.name == "block_cache_size" {
+            r.value = format!("{new_mb}MB");
+            r.rationale = "block cache reduced to keep memtables + cache inside the memory budget"
+                .to_string();
+        }
+    }
+    Some(format!(
+        "Keeping the total memory budget in check: write buffers ({}x{}MB) plus block cache fit within 60% of RAM.",
+        nbuf,
+        wbs >> 20
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(workload: WorkloadClass, cores: u64, mem: f64, rotational: bool, iter: u64) -> PromptFacts {
+        PromptFacts {
+            cores: Some(cores),
+            mem_gib: Some(mem),
+            rotational: Some(rotational),
+            workload,
+            iteration: iter,
+            max_changes: 10,
+            ..PromptFacts::default()
+        }
+    }
+
+    #[test]
+    fn read_heavy_leads_with_bloom_and_cache() {
+        let recs = recommend(&facts(WorkloadClass::ReadHeavy, 4, 4.0, false, 1));
+        assert_eq!(recs[0].priority, 10);
+        let names: Vec<&str> = recs.iter().take(2).map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"bloom_filter_bits_per_key"));
+        assert!(names.contains(&"block_cache_size"));
+        // Cache sized to a quarter of 4 GiB.
+        let cache = recs.iter().find(|r| r.name == "block_cache_size").unwrap();
+        assert_eq!(cache.value, "1024MB");
+    }
+
+    #[test]
+    fn write_heavy_on_hdd_tunes_readahead_and_syncs() {
+        let recs = recommend(&facts(WorkloadClass::WriteHeavy, 2, 4.0, true, 1));
+        let names: Vec<&str> = recs.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"compaction_readahead_size"));
+        assert!(names.contains(&"wal_bytes_per_sync"));
+        assert!(names.contains(&"bytes_per_sync"));
+        assert!(names.contains(&"enable_pipelined_write"), "2 cores: disable pipelining");
+        assert!(!names.contains(&"bloom_filter_bits_per_key"), "no read tuning for pure writes");
+    }
+
+    #[test]
+    fn values_oscillate_across_iterations_like_table5() {
+        let v = |iter| {
+            recommend(&facts(WorkloadClass::WriteHeavy, 2, 4.0, true, iter))
+                .into_iter()
+                .find(|r| r.name == "wal_bytes_per_sync")
+                .unwrap()
+                .value
+        };
+        assert_ne!(v(1), v(2), "expert experiments across iterations");
+        assert_eq!(v(1), v(3));
+    }
+
+    #[test]
+    fn small_memory_means_small_write_buffers() {
+        let small = recommend(&facts(WorkloadClass::WriteHeavy, 2, 4.0, false, 1));
+        let big = recommend(&facts(WorkloadClass::WriteHeavy, 8, 16.0, false, 1));
+        let get = |recs: &[Recommendation]| {
+            recs.iter().find(|r| r.name == "write_buffer_size").unwrap().value.clone()
+        };
+        assert_eq!(get(&small), "32MB");
+        assert_eq!(get(&big), "128MB");
+    }
+
+    #[test]
+    fn mixed_workload_tunes_both_sides() {
+        let recs = recommend(&facts(WorkloadClass::Mixed, 4, 4.0, true, 1));
+        let names: Vec<&str> = recs.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"bloom_filter_bits_per_key"));
+        assert!(names.contains(&"write_buffer_size"));
+        assert!(names.contains(&"rate_limiter_bytes_per_sec"), "HDD mixed: rate limit background I/O");
+    }
+
+    #[test]
+    fn memory_budget_shrinks_cache() {
+        let f = facts(WorkloadClass::Mixed, 4, 4.0, false, 1);
+        let mut recs = vec![
+            rec("write_buffer_size", "512MB", "", 9),
+            rec("max_write_buffer_number", "4", "", 8),
+            rec("block_cache_size", "2048MB", "", 10),
+        ];
+        let note = enforce_memory_budget(&f, &mut recs);
+        assert!(note.is_some());
+        let cache = recs.iter().find(|r| r.name == "block_cache_size").unwrap();
+        let new = lsm_kvs::options::registry::parse_size(&cache.value).unwrap();
+        assert!(new < 2048 << 20);
+        // 60% of 4 GiB minus 2 GiB of buffers.
+        assert!(new >= 64 << 20);
+    }
+
+    #[test]
+    fn budget_untouched_when_it_fits() {
+        let f = facts(WorkloadClass::ReadHeavy, 4, 8.0, false, 1);
+        let mut recs = vec![rec("block_cache_size", "1024MB", "", 10)];
+        assert!(enforce_memory_budget(&f, &mut recs).is_none());
+        assert_eq!(recs[0].value, "1024MB");
+    }
+}

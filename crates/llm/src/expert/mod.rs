@@ -1,0 +1,152 @@
+//! The rule-based GPT-4 tuning-expert simulator.
+//!
+//! [`ExpertModel`] stands in for the GPT-4 API of the paper's prototype:
+//! it *reads the natural-language prompt* the framework built, applies a
+//! knowledge base distilled from RocksDB tuning lore, and answers in
+//! prose + ini code blocks — including, at configurable rates, the
+//! hallucinations and deprecated/unsafe suggestions real LLMs produce.
+//! Fully deterministic given `(seed, prompt)`.
+
+pub mod attention;
+pub mod knowledge;
+pub mod policy;
+pub mod quirks;
+pub mod render;
+
+use crate::api::{ChatRequest, ChatResponse, LanguageModel, LlmError, Usage};
+
+pub use attention::{read_prompt, PromptFacts, WorkloadClass};
+pub use knowledge::Recommendation;
+pub use policy::{plan, RenderStyle, ResponsePlan};
+pub use quirks::QuirkConfig;
+
+/// A deterministic, rule-based stand-in for the GPT-4 tuning expert.
+///
+/// # Examples
+///
+/// ```
+/// use llm_client::{ChatRequest, ExpertModel, LanguageModel, QuirkConfig};
+///
+/// let mut model = ExpertModel::new(42, QuirkConfig::none());
+/// let prompt = "2 logical cores, 4 GiB total, SATA HDD, write-intensive \
+///               workload. Current configuration: write_buffer_size=67108864. \
+///               This is iteration 1. Change at most 10 options.";
+/// let reply = model.complete(&ChatRequest::single_turn("gpt-4", prompt)).unwrap();
+/// assert!(reply.content.contains("```"));
+/// ```
+#[derive(Debug)]
+pub struct ExpertModel {
+    seed: u64,
+    quirks: QuirkConfig,
+    name: String,
+}
+
+impl ExpertModel {
+    /// Creates an expert with the given determinism seed and quirk rates.
+    pub fn new(seed: u64, quirks: QuirkConfig) -> Self {
+        ExpertModel {
+            seed,
+            quirks,
+            name: "sim-gpt-4".to_string(),
+        }
+    }
+
+    /// A well-behaved expert (no hallucinations) — useful for ablations.
+    pub fn well_behaved(seed: u64) -> Self {
+        Self::new(seed, QuirkConfig::none())
+    }
+
+    /// The quirk configuration in force.
+    pub fn quirks(&self) -> &QuirkConfig {
+        &self.quirks
+    }
+}
+
+impl LanguageModel for ExpertModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let prompt = request.last_user_content();
+        let facts = read_prompt(prompt);
+        let response_plan = plan(&facts, &self.quirks, self.seed);
+        let content = render::render(&facts, &response_plan);
+        let usage = Usage {
+            prompt_tokens: (prompt.len() / 4) as u64,
+            completion_tokens: (content.len() / 4) as u64,
+        };
+        Ok(ChatResponse {
+            content,
+            model: self.name.clone(),
+            usage,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt(iteration: u64) -> String {
+        format!(
+            "CPU: 2 logical cores\nMemory: 4.00 GiB total\nStorage: SATA HDD (rotational: yes)\n\
+             Workload: write-intensive fillrandom\nThis is iteration {iteration}.\n\
+             [DBOptions]\n  max_background_jobs=2\n[CFOptions \"default\"]\n  write_buffer_size=67108864\n\
+             Change at most 10 options."
+        )
+    }
+
+    #[test]
+    fn responds_with_parseable_structure() {
+        let mut m = ExpertModel::well_behaved(1);
+        let r = m.complete(&ChatRequest::single_turn("gpt-4", &prompt(1))).unwrap();
+        assert!(r.content.contains("```"));
+        assert!(r.content.contains('='));
+        assert!(r.usage.completion_tokens > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_prompt() {
+        let mut a = ExpertModel::well_behaved(9);
+        let mut b = ExpertModel::well_behaved(9);
+        let p = ChatRequest::single_turn("gpt-4", &prompt(2));
+        assert_eq!(a.complete(&p).unwrap().content, b.complete(&p).unwrap().content);
+    }
+
+    #[test]
+    fn different_iterations_give_different_answers() {
+        let mut m = ExpertModel::well_behaved(1);
+        let r1 = m.complete(&ChatRequest::single_turn("g", &prompt(1))).unwrap();
+        let r2 = m.complete(&ChatRequest::single_turn("g", &prompt(2))).unwrap();
+        assert_ne!(r1.content, r2.content);
+    }
+
+    #[test]
+    fn hdd_write_heavy_prompt_mentions_readahead_or_syncs() {
+        let mut m = ExpertModel::well_behaved(1);
+        let r = m.complete(&ChatRequest::single_turn("g", &prompt(1))).unwrap();
+        assert!(
+            r.content.contains("bytes_per_sync") || r.content.contains("compaction_readahead_size"),
+            "{}",
+            r.content
+        );
+    }
+
+    #[test]
+    fn read_heavy_prompt_recommends_bloom_and_cache() {
+        let mut m = ExpertModel::well_behaved(1);
+        let p = "4 logical cores, 4 GiB total, NVMe SSD. Workload: read-intensive readrandom. \
+                 This is iteration 1. [CFOptions]\n bloom_filter_bits_per_key=0\n";
+        let r = m.complete(&ChatRequest::single_turn("g", p)).unwrap();
+        assert!(r.content.contains("bloom_filter_bits_per_key"));
+        assert!(r.content.contains("block_cache_size"));
+    }
+
+    #[test]
+    fn unsafe_suggestion_appears_with_quirks_on() {
+        let mut m = ExpertModel::new(1, QuirkConfig::default());
+        let r = m.complete(&ChatRequest::single_turn("g", &prompt(2))).unwrap();
+        assert!(r.content.contains("disable_wal"), "iteration 2 write-heavy: the classic bad advice");
+    }
+}

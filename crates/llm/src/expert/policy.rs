@@ -1,0 +1,209 @@
+//! Response planning: which recommendations to emit this iteration.
+
+use lsm_kvs::options::Options;
+
+use crate::expert::attention::{PromptFacts, WorkloadClass};
+use crate::expert::knowledge::{enforce_memory_budget, recommend, Recommendation};
+use crate::expert::quirks::{inject, QuirkConfig};
+
+/// How the response text is laid out (varies to exercise the parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderStyle {
+    /// One ```ini fence with all sections.
+    SingleFence,
+    /// Separate fenced blocks per section with prose between.
+    SplitSections,
+    /// A bare ``` fence with no language tag.
+    BareFence,
+    /// A fence plus one change expressed only in prose.
+    ProseMix,
+}
+
+/// A fully planned response.
+#[derive(Debug, Clone)]
+pub struct ResponsePlan {
+    /// Ordered changes to emit.
+    pub changes: Vec<Recommendation>,
+    /// Extra prose notes (budget adjustments, deterioration reaction).
+    pub notes: Vec<String>,
+    /// Layout for the renderer.
+    pub style: RenderStyle,
+}
+
+/// Canonicalizes an option value through the registry so "64MB" and
+/// "67108864" compare equal; returns `None` for unknown options/values.
+fn canonical(name: &str, value: &str) -> Option<String> {
+    let mut scratch = Options::default();
+    scratch.set_by_name(name, value).ok()?;
+    scratch.get_by_name(name)
+}
+
+/// Plans the response for a parsed prompt.
+pub fn plan(facts: &PromptFacts, quirks: &QuirkConfig, seed: u64) -> ResponsePlan {
+    let mut recs = recommend(facts);
+    let mut notes = Vec::new();
+
+    // Drop suggestions that match the currently configured value — the
+    // expert moves on to new knobs each iteration instead of repeating
+    // itself.
+    recs.retain(|r| {
+        let proposed = canonical(&r.name, &r.value);
+        let current = facts
+            .current_options
+            .get(&r.name)
+            .and_then(|v| canonical(&r.name, v));
+        match (proposed, current) {
+            (Some(p), Some(c)) => p != c,
+            _ => true,
+        }
+    });
+
+    // React to a reported regression: steer away from the strongest
+    // (already tried) recommendations and acknowledge the feedback.
+    if facts.deteriorated && recs.len() > 2 {
+        let shift = 2.min(recs.len());
+        recs.rotate_left(shift);
+        notes.push(
+            "The previous adjustment hurt performance, so this round backs off the aggressive \
+             settings and tries a different combination."
+                .to_string(),
+        );
+    }
+
+    // The paper observes that changing more than ~10 options per
+    // iteration yields marginal returns; the expert also narrows its
+    // focus as iterations progress.
+    let iteration_cap = match facts.iteration {
+        0 | 1 => 10,
+        2 => 6,
+        3 => 5,
+        _ => 4,
+    };
+    let cap = facts.max_changes.min(iteration_cap).max(1);
+    recs.truncate(cap);
+
+    if let Some(note) = enforce_memory_budget(facts, &mut recs) {
+        notes.push(note);
+    }
+
+    inject(
+        quirks,
+        seed,
+        facts.iteration,
+        facts.workload == WorkloadClass::WriteHeavy,
+        &mut recs,
+    );
+
+    let style = match facts.iteration % 4 {
+        0 => RenderStyle::SingleFence,
+        1 => RenderStyle::SplitSections,
+        2 => RenderStyle::BareFence,
+        _ => RenderStyle::ProseMix,
+    };
+
+    ResponsePlan {
+        changes: recs,
+        notes,
+        style,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn facts(iteration: u64) -> PromptFacts {
+        PromptFacts {
+            cores: Some(2),
+            mem_gib: Some(4.0),
+            rotational: Some(true),
+            workload: WorkloadClass::WriteHeavy,
+            iteration,
+            max_changes: 10,
+            ..PromptFacts::default()
+        }
+    }
+
+    #[test]
+    fn first_iteration_proposes_up_to_ten() {
+        let p = plan(&facts(1), &QuirkConfig::none(), 1);
+        assert!(p.changes.len() <= 10);
+        assert!(p.changes.len() >= 6, "got {}", p.changes.len());
+    }
+
+    #[test]
+    fn later_iterations_narrow_focus() {
+        let p5 = plan(&facts(5), &QuirkConfig::none(), 1);
+        assert!(p5.changes.len() <= 4);
+    }
+
+    #[test]
+    fn already_applied_values_are_skipped() {
+        let mut f = facts(1);
+        // Pretend the top write-side recommendation is already in place.
+        f.current_options.insert("write_buffer_size".into(), "33554432".into()); // 32MB
+        let p = plan(&f, &QuirkConfig::none(), 1);
+        assert!(
+            !p.changes.iter().any(|c| c.name == "write_buffer_size"),
+            "expert should not re-propose the current value"
+        );
+    }
+
+    #[test]
+    fn equivalent_literals_compare_equal() {
+        assert_eq!(canonical("write_buffer_size", "64MB"), canonical("write_buffer_size", "67108864"));
+        assert!(canonical("made_up_option", "1").is_none());
+    }
+
+    #[test]
+    fn deterioration_changes_the_mix() {
+        let calm = plan(&facts(3), &QuirkConfig::none(), 1);
+        let mut f = facts(3);
+        f.deteriorated = true;
+        let upset = plan(&f, &QuirkConfig::none(), 1);
+        assert_ne!(
+            calm.changes.first().map(|c| c.name.clone()),
+            upset.changes.first().map(|c| c.name.clone())
+        );
+        assert!(!upset.notes.is_empty());
+    }
+
+    #[test]
+    fn max_changes_constraint_respected() {
+        let mut f = facts(1);
+        f.max_changes = 3;
+        let p = plan(&f, &QuirkConfig::none(), 1);
+        assert!(p.changes.len() <= 3);
+    }
+
+    #[test]
+    fn styles_rotate_with_iteration() {
+        let styles: Vec<RenderStyle> = (0..4).map(|i| plan(&facts(i), &QuirkConfig::none(), 1).style).collect();
+        assert_eq!(styles[0], RenderStyle::SingleFence);
+        assert_eq!(styles[1], RenderStyle::SplitSections);
+        assert_eq!(styles[2], RenderStyle::BareFence);
+        assert_eq!(styles[3], RenderStyle::ProseMix);
+    }
+
+    #[test]
+    fn quirks_appear_when_enabled() {
+        let p = plan(&facts(1), &QuirkConfig::heavy(), 1);
+        let known = |n: &str| lsm_kvs::options::registry::find_option(n).is_some();
+        assert!(
+            p.changes.iter().any(|c| !known(&c.name)),
+            "heavy quirks should add at least one unknown/deprecated option"
+        );
+    }
+
+    #[test]
+    fn empty_current_options_still_plans() {
+        let f = PromptFacts {
+            max_changes: 10,
+            current_options: HashMap::new(),
+            ..PromptFacts::default()
+        };
+        let p = plan(&f, &QuirkConfig::none(), 1);
+        assert!(!p.changes.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! LLM misbehaviour simulation: hallucinations, deprecated options,
+//! invalid values, and unsafe suggestions.
+//!
+//! The paper's Safeguard Enforcer exists because "LLMs can occasionally
+//! produce confident yet incorrect responses". These quirks inject
+//! exactly the failure classes the paper names — unknown (hallucinated)
+//! options, deprecated options the model "unnecessarily focuses on",
+//! out-of-range values, and dangerous advice like disabling the WAL —
+//! at configurable, seeded rates so safeguard behaviour is testable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::expert::knowledge::Recommendation;
+
+/// Quirk injection rates (all probabilities per response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuirkConfig {
+    /// Chance of proposing a non-existent option.
+    pub hallucination_rate: f64,
+    /// Chance of proposing a deprecated option.
+    pub deprecated_rate: f64,
+    /// Chance of proposing an out-of-range or mistyped value.
+    pub invalid_value_rate: f64,
+    /// Suggest `disable_wal=true` for write-heavy loads (the classic
+    /// unsafe blog advice) on early iterations.
+    pub suggest_unsafe: bool,
+}
+
+impl Default for QuirkConfig {
+    fn default() -> Self {
+        QuirkConfig {
+            hallucination_rate: 0.15,
+            deprecated_rate: 0.15,
+            invalid_value_rate: 0.10,
+            suggest_unsafe: true,
+        }
+    }
+}
+
+impl QuirkConfig {
+    /// A perfectly behaved model (for ablations).
+    pub fn none() -> Self {
+        QuirkConfig {
+            hallucination_rate: 0.0,
+            deprecated_rate: 0.0,
+            invalid_value_rate: 0.0,
+            suggest_unsafe: false,
+        }
+    }
+
+    /// An aggressively misbehaving model (for safeguard stress tests).
+    pub fn heavy() -> Self {
+        QuirkConfig {
+            hallucination_rate: 0.9,
+            deprecated_rate: 0.9,
+            invalid_value_rate: 0.9,
+            suggest_unsafe: true,
+        }
+    }
+}
+
+const HALLUCINATED: &[(&str, &str, &str)] = &[
+    ("memtable_accelerator_mode", "true", "enable the memtable accelerator for faster inserts"),
+    ("level0_async_flush_mode", "aggressive", "asynchronous L0 flushing reduces write amplification"),
+    ("compaction_turbo_boost", "2", "turbo-boosted compactions clear backlog faster"),
+    ("write_buffer_szie", "128MB", "increase the write buffer for better batching"),
+    ("block_cache_shards_auto", "true", "let the cache pick its own shard count"),
+];
+
+const DEPRECATED: &[(&str, &str, &str)] = &[
+    ("soft_rate_limit", "0.5", "soften the write rate limit to smooth ingestion"),
+    ("base_background_compactions", "2", "keep a base pool of compaction threads"),
+    ("max_mem_compaction_level", "2", "let memtable flushes target deeper levels"),
+    ("purge_redundant_kvs_while_flush", "true", "drop shadowed keys during flush"),
+];
+
+const INVALID: &[(&str, &str, &str)] = &[
+    ("max_background_jobs", "4096", "maximize background parallelism"),
+    ("bloom_filter_bits_per_key", "-5", "negative bits disable probing overhead"),
+    ("block_size", "512GB", "huge blocks maximize sequential throughput"),
+    ("write_buffer_size", "enormous", "make the write buffer as large as possible"),
+];
+
+/// Appends quirk suggestions to `recs`, deterministic in `(seed, iteration)`.
+pub fn inject(
+    config: &QuirkConfig,
+    seed: u64,
+    iteration: u64,
+    write_heavy: bool,
+    recs: &mut Vec<Recommendation>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9e3779b97f4a7c15));
+    let mut push = |table: &[(&str, &str, &str)], rng: &mut StdRng| {
+        let (name, value, rationale) = table[rng.gen_range(0..table.len())];
+        recs.push(Recommendation {
+            name: name.to_string(),
+            value: value.to_string(),
+            rationale: rationale.to_string(),
+            priority: 2,
+        });
+    };
+    if rng.gen_bool(config.hallucination_rate.clamp(0.0, 1.0)) {
+        push(HALLUCINATED, &mut rng);
+    }
+    if rng.gen_bool(config.deprecated_rate.clamp(0.0, 1.0)) {
+        push(DEPRECATED, &mut rng);
+    }
+    if rng.gen_bool(config.invalid_value_rate.clamp(0.0, 1.0)) {
+        push(INVALID, &mut rng);
+    }
+    if config.suggest_unsafe && write_heavy && iteration == 2 {
+        recs.push(Recommendation {
+            name: "disable_wal".to_string(),
+            value: "true".to_string(),
+            rationale: "if durability is not critical, disabling the WAL removes per-write logging cost"
+                .to_string(),
+            priority: 2,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        let mut recs = Vec::new();
+        for iter in 0..20 {
+            inject(&QuirkConfig::none(), 1, iter, true, &mut recs);
+        }
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn heavy_injects_all_classes() {
+        // At 0.9 per class a single draw can still miss; across several
+        // iterations all three classes must appear.
+        let mut recs = Vec::new();
+        for iter in 0..6 {
+            inject(&QuirkConfig::heavy(), 1, iter, true, &mut recs);
+        }
+        assert!(recs.len() >= 12, "got {}", recs.len());
+    }
+
+    #[test]
+    fn unsafe_advice_appears_at_iteration_two_for_writes() {
+        let mut recs = Vec::new();
+        inject(&QuirkConfig::none().with_unsafe(), 1, 2, true, &mut recs);
+        assert!(recs.iter().any(|r| r.name == "disable_wal"));
+        let mut recs = Vec::new();
+        inject(&QuirkConfig::none().with_unsafe(), 1, 2, false, &mut recs);
+        assert!(recs.is_empty(), "read-heavy prompts do not get WAL advice");
+    }
+
+    #[test]
+    fn deterministic_for_seed_and_iteration() {
+        let run = || {
+            let mut recs = Vec::new();
+            inject(&QuirkConfig::default(), 7, 3, true, &mut recs);
+            recs.iter().map(|r| r.name.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    impl QuirkConfig {
+        fn with_unsafe(mut self) -> Self {
+            self.suggest_unsafe = true;
+            self
+        }
+    }
+}

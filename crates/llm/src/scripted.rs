@@ -1,0 +1,89 @@
+//! A scripted model that replays canned responses (for tests).
+
+use crate::api::{ChatRequest, ChatResponse, LanguageModel, LlmError, Usage};
+
+/// Replays a fixed sequence of responses, recording the prompts it saw.
+///
+/// # Examples
+///
+/// ```
+/// use llm_client::{ChatRequest, LanguageModel, ScriptedModel};
+///
+/// let mut model = ScriptedModel::new(vec!["reply one".into()]);
+/// let r = model.complete(&ChatRequest::single_turn("x", "hi")).unwrap();
+/// assert_eq!(r.content, "reply one");
+/// assert!(model.complete(&ChatRequest::single_turn("x", "again")).is_err());
+/// assert_eq!(model.prompts_seen().len(), 2); // failed calls are recorded too
+/// ```
+#[derive(Debug, Default)]
+pub struct ScriptedModel {
+    responses: std::collections::VecDeque<String>,
+    prompts: Vec<String>,
+}
+
+impl ScriptedModel {
+    /// Creates a model that will return `responses` in order.
+    pub fn new(responses: Vec<String>) -> Self {
+        ScriptedModel {
+            responses: responses.into(),
+            prompts: Vec::new(),
+        }
+    }
+
+    /// The prompts this model has received, in order.
+    pub fn prompts_seen(&self) -> &[String] {
+        &self.prompts
+    }
+
+    /// Remaining canned responses.
+    pub fn remaining(&self) -> usize {
+        self.responses.len()
+    }
+}
+
+impl LanguageModel for ScriptedModel {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        self.prompts.push(request.last_user_content().to_string());
+        let content = self.responses.pop_front().ok_or(LlmError::Exhausted)?;
+        let usage = Usage {
+            prompt_tokens: (request.last_user_content().len() / 4) as u64,
+            completion_tokens: (content.len() / 4) as u64,
+        };
+        Ok(ChatResponse {
+            content,
+            model: "scripted".to_string(),
+            usage,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_in_order_then_exhausts() {
+        let mut m = ScriptedModel::new(vec!["a".into(), "b".into()]);
+        assert_eq!(m.remaining(), 2);
+        let r1 = m.complete(&ChatRequest::single_turn("m", "p1")).unwrap();
+        let r2 = m.complete(&ChatRequest::single_turn("m", "p2")).unwrap();
+        assert_eq!((r1.content.as_str(), r2.content.as_str()), ("a", "b"));
+        assert_eq!(
+            m.complete(&ChatRequest::single_turn("m", "p3")).unwrap_err(),
+            LlmError::Exhausted
+        );
+        assert_eq!(m.prompts_seen(), &["p1", "p2", "p3"]);
+    }
+
+    #[test]
+    fn usage_estimates_tokens() {
+        let mut m = ScriptedModel::new(vec!["12345678".into()]);
+        let r = m.complete(&ChatRequest::single_turn("m", "a".repeat(40))).unwrap();
+        assert_eq!(r.usage.prompt_tokens, 10);
+        assert_eq!(r.usage.completion_tokens, 2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Compaction: strategy-specific picking plus merge execution.
+
+pub mod job;
+pub mod picker;
+
+pub use job::{run_compaction, CompactionJobOutput};
+pub use picker::{
+    level_targets, pending_compaction_bytes, pick_compaction, CompactionInputs, CompactionPick,
+    CompactionReason,
+};
+
+// Re-exported pieces are part of the crate's public surface even when the
+// engine itself only uses a subset.
+

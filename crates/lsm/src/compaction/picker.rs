@@ -1,0 +1,481 @@
+//! Compaction picking for the leveled, universal, and FIFO strategies.
+
+use std::sync::Arc;
+
+use crate::options::{CompactionStyle, Options};
+use crate::version::{FileMetadata, Version};
+
+/// Why a compaction was chosen (reported in stats and logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionReason {
+    /// L0 file count reached the trigger.
+    L0Files,
+    /// A level exceeded its byte target.
+    LevelSize,
+    /// Universal: size-ratio merge of adjacent runs.
+    UniversalSizeRatio,
+    /// Universal: space amplification forced a full merge.
+    UniversalSpaceAmp,
+    /// FIFO: total size over budget, oldest files dropped.
+    FifoDrop,
+}
+
+/// A chosen compaction.
+#[derive(Debug)]
+pub enum CompactionPick {
+    /// Merge `inputs` and write the result to `output_level`.
+    Merge(CompactionInputs),
+    /// FIFO: delete these files outright (no merging).
+    Drop {
+        /// Files to delete, all on L0.
+        files: Vec<Arc<FileMetadata>>,
+        /// Always [`CompactionReason::FifoDrop`].
+        reason: CompactionReason,
+    },
+}
+
+/// Inputs to a merging compaction.
+#[derive(Debug)]
+pub struct CompactionInputs {
+    /// Input files with the level each lives on.
+    pub inputs: Vec<(usize, Arc<FileMetadata>)>,
+    /// Destination level.
+    pub output_level: usize,
+    /// Why this compaction was picked.
+    pub reason: CompactionReason,
+}
+
+impl CompactionInputs {
+    /// Total input bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.inputs.iter().map(|(_, f)| f.size).sum()
+    }
+}
+
+/// Per-level byte targets for leveled compaction.
+pub fn level_targets(opts: &Options, version: &Version) -> Vec<u64> {
+    let n = version.num_levels();
+    let mut targets = vec![u64::MAX; n];
+    if n < 2 {
+        return targets;
+    }
+    if opts.level_compaction_dynamic_level_bytes {
+        // Size levels down from the deepest non-empty level so the last
+        // level holds ~the full data set (lower space amplification).
+        let last = (1..n).rev().find(|l| version.level_bytes(*l) > 0).unwrap_or(n - 1);
+        let mut target = version.level_bytes(last).max(opts.max_bytes_for_level_base);
+        for l in (1..=last).rev() {
+            targets[l] = target.max(opts.max_bytes_for_level_base);
+            target = (target as f64 / opts.max_bytes_for_level_multiplier.max(1.0)) as u64;
+        }
+        for t in targets.iter_mut().skip(last + 1) {
+            *t = u64::MAX;
+        }
+    } else {
+        let mut target = opts.max_bytes_for_level_base;
+        for t in targets.iter_mut().take(n).skip(1) {
+            *t = target;
+            target = (target as f64 * opts.max_bytes_for_level_multiplier.max(1.0)) as u64;
+        }
+    }
+    targets
+}
+
+/// Estimated compaction debt: bytes above target across levels plus
+/// over-trigger L0 bytes. Drives the pending-compaction write throttles.
+pub fn pending_compaction_bytes(opts: &Options, version: &Version) -> u64 {
+    let targets = level_targets(opts, version);
+    let mut debt = 0u64;
+    let l0_files = version.files(0).len() as u64;
+    let trigger = opts.level0_file_num_compaction_trigger.max(1) as u64;
+    if l0_files > trigger {
+        let avg = version.level_bytes(0) / l0_files.max(1);
+        debt += avg * (l0_files - trigger);
+    }
+    for l in 1..version.num_levels() {
+        let bytes = version.level_bytes(l);
+        if targets[l] != u64::MAX && bytes > targets[l] {
+            debt += bytes - targets[l];
+        }
+    }
+    debt
+}
+
+/// Picks the next compaction for the configured style, or `None` when
+/// nothing is needed or all candidates are already claimed.
+pub fn pick_compaction(opts: &Options, version: &Version) -> Option<CompactionPick> {
+    match opts.compaction_style {
+        CompactionStyle::Level => pick_leveled(opts, version),
+        CompactionStyle::Universal => pick_universal(opts, version),
+        CompactionStyle::Fifo => pick_fifo(opts, version),
+    }
+}
+
+fn unclaimed(files: &[Arc<FileMetadata>]) -> Vec<Arc<FileMetadata>> {
+    files.iter().filter(|f| !f.is_being_compacted()).cloned().collect()
+}
+
+fn pick_leveled(opts: &Options, version: &Version) -> Option<CompactionPick> {
+    let n = version.num_levels();
+    let targets = level_targets(opts, version);
+
+    // Score L0 by file count, deeper levels by bytes vs target.
+    let l0_unclaimed = unclaimed(version.files(0));
+    let l0_claimed = version.files(0).len() != l0_unclaimed.len();
+    let mut best: Option<(f64, usize)> = None;
+    if !l0_claimed && !l0_unclaimed.is_empty() {
+        let score = l0_unclaimed.len() as f64 / opts.level0_file_num_compaction_trigger.max(1) as f64;
+        best = Some((score, 0));
+    }
+    for level in 1..n - 1 {
+        if targets[level] == u64::MAX {
+            continue;
+        }
+        let bytes: u64 = unclaimed(version.files(level)).iter().map(|f| f.size).sum();
+        let score = bytes as f64 / targets[level] as f64;
+        if best.map(|(s, _)| score > s).unwrap_or(true) {
+            best = Some((score, level));
+        }
+    }
+    let (score, level) = best?;
+    if score < 1.0 {
+        return None;
+    }
+
+    if level == 0 {
+        // L0 -> base level: all unclaimed L0 files plus overlapping base
+        // files.
+        let base = pick_base_level(opts, version);
+        let mut lo = l0_unclaimed[0].smallest.user_key().to_vec();
+        let mut hi = l0_unclaimed[0].largest.user_key().to_vec();
+        for f in &l0_unclaimed {
+            if f.smallest.user_key() < lo.as_slice() {
+                lo = f.smallest.user_key().to_vec();
+            }
+            if f.largest.user_key() > hi.as_slice() {
+                hi = f.largest.user_key().to_vec();
+            }
+        }
+        let bottom = version.overlapping_files(base, &lo, &hi);
+        if bottom.iter().any(|f| f.is_being_compacted()) {
+            return None;
+        }
+        let mut inputs: Vec<(usize, Arc<FileMetadata>)> =
+            l0_unclaimed.into_iter().map(|f| (0, f)).collect();
+        inputs.extend(bottom.into_iter().map(|f| (base, f)));
+        return Some(CompactionPick::Merge(CompactionInputs {
+            inputs,
+            output_level: base,
+            reason: CompactionReason::L0Files,
+        }));
+    }
+
+    // Level N -> N+1: pick the first unclaimed file whose bottom overlap
+    // is also unclaimed, bounded by max_compaction_bytes.
+    let output_level = level + 1;
+    for file in unclaimed(version.files(level)) {
+        let bottom = version.overlapping_files(
+            output_level,
+            file.smallest.user_key(),
+            file.largest.user_key(),
+        );
+        if bottom.iter().any(|f| f.is_being_compacted()) {
+            continue;
+        }
+        let total: u64 = file.size + bottom.iter().map(|f| f.size).sum::<u64>();
+        if total > opts.max_compaction_bytes.max(file.size) && !bottom.is_empty() {
+            continue;
+        }
+        let mut inputs = vec![(level, file)];
+        inputs.extend(bottom.into_iter().map(|f| (output_level, f)));
+        return Some(CompactionPick::Merge(CompactionInputs {
+            inputs,
+            output_level,
+            reason: CompactionReason::LevelSize,
+        }));
+    }
+    None
+}
+
+/// The level L0 compacts into: the first non-empty level, or L1.
+fn pick_base_level(opts: &Options, version: &Version) -> usize {
+    if !opts.level_compaction_dynamic_level_bytes {
+        return 1;
+    }
+    (1..version.num_levels())
+        .find(|l| version.level_bytes(*l) > 0)
+        .unwrap_or(1)
+}
+
+/// Universal compaction treats every L0 file and every non-empty deeper
+/// level as one sorted run, newest first.
+fn universal_runs(version: &Version) -> Vec<(usize, Vec<Arc<FileMetadata>>, u64)> {
+    let mut runs = Vec::new();
+    for f in version.files(0) {
+        runs.push((0, vec![Arc::clone(f)], f.size));
+    }
+    for level in 1..version.num_levels() {
+        let files = version.files(level);
+        if !files.is_empty() {
+            let size = files.iter().map(|f| f.size).sum();
+            runs.push((level, files.to_vec(), size));
+        }
+    }
+    runs
+}
+
+fn pick_universal(opts: &Options, version: &Version) -> Option<CompactionPick> {
+    let runs = universal_runs(version);
+    let trigger = opts.level0_file_num_compaction_trigger.max(2) as usize;
+    if runs.len() < trigger {
+        return None;
+    }
+    if runs
+        .iter()
+        .any(|(_, files, _)| files.iter().any(|f| f.is_being_compacted()))
+    {
+        return None;
+    }
+
+    // 1) Space amplification: if everything above the oldest run is
+    //    already as big as the oldest run allows, merge all runs.
+    let last_size = runs.last().map(|r| r.2).unwrap_or(0).max(1);
+    let upper: u64 = runs[..runs.len() - 1].iter().map(|r| r.2).sum();
+    if upper * 100 >= last_size * opts.universal_max_size_amplification_percent.max(1) as u64 {
+        let inputs = runs
+            .iter()
+            .flat_map(|(l, files, _)| files.iter().map(|f| (*l, Arc::clone(f))))
+            .collect();
+        return Some(CompactionPick::Merge(CompactionInputs {
+            inputs,
+            output_level: version.num_levels() - 1,
+            reason: CompactionReason::UniversalSpaceAmp,
+        }));
+    }
+
+    // 2) Size ratio: greedily extend from the newest run while the next
+    //    run is not much bigger than what we accumulated.
+    let ratio = 1.0 + opts.universal_size_ratio.max(0) as f64 / 100.0;
+    let max_width = opts.universal_max_merge_width.max(2) as usize;
+    let mut acc = runs[0].2;
+    let mut width = 1;
+    while width < runs.len().min(max_width) {
+        let next = runs[width].2;
+        if (next as f64) <= (acc as f64) * ratio {
+            acc += next;
+            width += 1;
+        } else {
+            break;
+        }
+    }
+    let min_width = opts.universal_min_merge_width.max(2) as usize;
+    if width < min_width {
+        // 3) Fall back to merging the newest `min_width` runs to cap the
+        //    run count.
+        width = min_width.min(runs.len());
+    }
+    // Partial merges write back to L0 as one bigger (older-position) run;
+    // merges reaching the oldest run go to the bottom level.
+    let includes_last = width == runs.len();
+    let output_level = if includes_last { version.num_levels() - 1 } else { 0 };
+    let inputs = runs[..width]
+        .iter()
+        .flat_map(|(l, files, _)| files.iter().map(|f| (*l, Arc::clone(f))))
+        .collect();
+    Some(CompactionPick::Merge(CompactionInputs {
+        inputs,
+        output_level,
+        reason: CompactionReason::UniversalSizeRatio,
+    }))
+}
+
+fn pick_fifo(opts: &Options, version: &Version) -> Option<CompactionPick> {
+    let total = version.level_bytes(0);
+    if total <= opts.fifo_max_table_files_size {
+        return None;
+    }
+    // Drop oldest (smallest file number) files until under budget.
+    let mut files: Vec<Arc<FileMetadata>> = unclaimed(version.files(0));
+    files.sort_by_key(|f| f.number);
+    let mut to_drop = Vec::new();
+    let mut remaining = total;
+    for f in files {
+        if remaining <= opts.fifo_max_table_files_size {
+            break;
+        }
+        remaining = remaining.saturating_sub(f.size);
+        to_drop.push(f);
+    }
+    if to_drop.is_empty() {
+        None
+    } else {
+        Some(CompactionPick::Drop {
+            files: to_drop,
+            reason: CompactionReason::FifoDrop,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FileNumber, InternalKey, ValueType};
+    use crate::version::VersionEdit;
+
+    fn meta(number: u64, lo: &str, hi: &str, size: u64) -> Arc<FileMetadata> {
+        Arc::new(FileMetadata::new(
+            FileNumber(number),
+            size,
+            InternalKey::new(lo.as_bytes(), 1, ValueType::Value),
+            InternalKey::new(hi.as_bytes(), 1, ValueType::Value),
+            size / 100,
+        ))
+    }
+
+    fn version_with(files: &[(usize, Arc<FileMetadata>)]) -> Version {
+        let mut edit = VersionEdit::default();
+        for (l, f) in files {
+            edit.added_files.push((*l, Arc::clone(f)));
+        }
+        Version::empty(7).apply(&edit).unwrap()
+    }
+
+    #[test]
+    fn no_compaction_when_quiet() {
+        let opts = Options::default();
+        let v = version_with(&[(0, meta(1, "a", "b", 1000))]);
+        assert!(pick_compaction(&opts, &v).is_none());
+    }
+
+    #[test]
+    fn l0_trigger_picks_all_l0_plus_overlap() {
+        let opts = Options::default(); // trigger = 4
+        let v = version_with(&[
+            (0, meta(1, "a", "m", 1000)),
+            (0, meta(2, "b", "n", 1000)),
+            (0, meta(3, "c", "o", 1000)),
+            (0, meta(4, "d", "p", 1000)),
+            (1, meta(5, "a", "h", 1000)),
+            (1, meta(6, "x", "z", 1000)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::L0Files);
+        assert_eq!(c.output_level, 1);
+        // 4 L0 files + the overlapping L1 file (x..z does not overlap a..p).
+        assert_eq!(c.inputs.len(), 5);
+        assert!(c.inputs.iter().all(|(l, f)| *l != 1 || f.number == FileNumber(5)));
+    }
+
+    #[test]
+    fn level_size_trigger() {
+        let mut opts = Options::default();
+        opts.max_bytes_for_level_base = 10_000;
+        let v = version_with(&[
+            (1, meta(1, "a", "f", 8_000)),
+            (1, meta(2, "g", "p", 8_000)),
+            (2, meta(3, "a", "c", 5_000)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::LevelSize);
+        assert_eq!(c.output_level, 2);
+        // First L1 file overlaps the L2 file.
+        assert_eq!(c.inputs.len(), 2);
+    }
+
+    #[test]
+    fn claimed_files_block_picks() {
+        let opts = Options::default();
+        let f1 = meta(1, "a", "m", 1000);
+        f1.set_being_compacted(true);
+        let v = version_with(&[
+            (0, Arc::clone(&f1)),
+            (0, meta(2, "b", "n", 1000)),
+            (0, meta(3, "c", "o", 1000)),
+            (0, meta(4, "d", "p", 1000)),
+        ]);
+        assert!(pick_compaction(&opts, &v).is_none(), "L0 pick waits for in-flight job");
+    }
+
+    #[test]
+    fn dynamic_level_bytes_changes_targets() {
+        let mut opts = Options::default();
+        opts.level_compaction_dynamic_level_bytes = true;
+        let v = version_with(&[(6, meta(1, "a", "z", 100 << 30))]);
+        let targets = level_targets(&opts, &v);
+        assert_eq!(targets[6], 100 << 30);
+        assert!(targets[5] < targets[6]);
+        assert!(targets[1] >= opts.max_bytes_for_level_base);
+    }
+
+    #[test]
+    fn pending_bytes_grow_with_debt() {
+        let mut opts = Options::default();
+        opts.max_bytes_for_level_base = 1_000;
+        let quiet = version_with(&[(1, meta(1, "a", "b", 500))]);
+        assert_eq!(pending_compaction_bytes(&opts, &quiet), 0);
+        let busy = version_with(&[(1, meta(1, "a", "b", 50_000))]);
+        assert_eq!(pending_compaction_bytes(&opts, &busy), 49_000);
+    }
+
+    #[test]
+    fn universal_size_ratio_merges_newest_runs() {
+        let mut opts = Options::default();
+        opts.compaction_style = CompactionStyle::Universal;
+        opts.level0_file_num_compaction_trigger = 4;
+        opts.universal_max_size_amplification_percent = 10_000; // avoid full merge
+        let v = version_with(&[
+            (0, meta(10, "a", "z", 1_000)),
+            (0, meta(9, "a", "z", 1_000)),
+            (0, meta(8, "a", "z", 1_100)),
+            (0, meta(7, "a", "z", 100_000)),
+            (6, meta(1, "a", "z", 200_000)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::UniversalSizeRatio);
+        assert_eq!(c.output_level, 0, "partial merges stay in L0");
+        assert_eq!(c.inputs.len(), 3, "the three similar-size runs merge");
+    }
+
+    #[test]
+    fn universal_space_amp_full_merge() {
+        let mut opts = Options::default();
+        opts.compaction_style = CompactionStyle::Universal;
+        opts.level0_file_num_compaction_trigger = 2;
+        opts.universal_max_size_amplification_percent = 200;
+        let v = version_with(&[
+            (0, meta(3, "a", "z", 3_000)),
+            (0, meta(2, "a", "z", 3_000)),
+            (6, meta(1, "a", "z", 2_000)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::UniversalSpaceAmp);
+        assert_eq!(c.output_level, 6);
+        assert_eq!(c.inputs.len(), 3);
+    }
+
+    #[test]
+    fn fifo_drops_oldest() {
+        let mut opts = Options::default();
+        opts.compaction_style = CompactionStyle::Fifo;
+        opts.fifo_max_table_files_size = 2_500;
+        let v = version_with(&[
+            (0, meta(3, "a", "z", 1_000)),
+            (0, meta(2, "a", "z", 1_000)),
+            (0, meta(1, "a", "z", 1_000)),
+        ]);
+        let Some(CompactionPick::Drop { files, reason }) = pick_compaction(&opts, &v) else {
+            panic!("expected drop");
+        };
+        assert_eq!(reason, CompactionReason::FifoDrop);
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].number, FileNumber(1), "oldest dropped first");
+    }
+}

@@ -1,0 +1,2215 @@
+//! The database: ties memtables, WAL, levels, caches, background jobs,
+//! and the hardware model together.
+//!
+//! # Execution model
+//!
+//! The engine is *discrete-event timed*: every foreground operation
+//! advances the shared [`hw_sim::Clock`] by its modeled cost (CPU,
+//! device queueing, stalls), and background jobs (flush/compaction) are
+//! executed eagerly but their *effects* are installed at a computed
+//! completion instant via an event queue. Device channels and CPU cores
+//! are shared with foreground work, so background pressure shows up as
+//! foreground tail latency — the phenomenon LSM tuning fights.
+//!
+//! With a wall [`hw_sim::Clock`] the same code runs in real time (costs
+//! are still accounted but `advance` is a no-op), making the engine
+//! usable as an ordinary embedded store.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use hw_sim::{AccessPattern, HardwareEnv, MemoryUser, SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
+
+use crate::batch::WriteBatch;
+use crate::cache::{BlockCache, BlockKey, CacheStats, TableCache};
+use crate::compaction::{
+    pending_compaction_bytes, pick_compaction, run_compaction, CompactionPick,
+};
+use crate::error::{Error, Result};
+use crate::flush::{build_l0_table, sst_file_name};
+use crate::memtable::{MemTable, MemTableGet};
+use crate::options::{ini, Options};
+use crate::sstable::block::Block;
+use crate::sstable::compress::decompress_cpu_cost;
+use crate::sstable::table::{FinishedTable, TableConfig, TableReader};
+use crate::stats::{Ticker, TickerSnapshot, Tickers};
+use crate::types::{internal_key_cmp, FileNumber, InternalKey, SequenceNumber, ValueType};
+use crate::version::{FileMetadata, Version, VersionEdit};
+use crate::vfs::{MemVfs, Vfs};
+use crate::wal::{replay_wal, WalWriter};
+use crate::write_controller::{WriteController, WritePressure, WriteRegime};
+
+const CURRENT_FILE: &str = "CURRENT";
+
+fn wal_file_name(number: u64) -> String {
+    format!("{number:06}.log")
+}
+
+fn manifest_file_name(number: u64) -> String {
+    format!("MANIFEST-{number:06}")
+}
+
+/// Foreground/background cost constants (reference-core nanoseconds).
+///
+/// These calibrate the simulation to `db_bench`-like magnitudes; they are
+/// deliberately public so experiments can ablate them.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fixed CPU per write operation.
+    pub write_base_cpu: SimDuration,
+    /// CPU per byte inserted into the memtable.
+    pub write_per_byte_cpu_ns: f64,
+    /// Fixed CPU per WAL record plus per-byte cost.
+    pub wal_record_cpu: SimDuration,
+    /// CPU per byte appended to the WAL buffer.
+    pub wal_per_byte_cpu_ns: f64,
+    /// Fixed CPU per read operation.
+    pub get_base_cpu: SimDuration,
+    /// CPU per memtable probed.
+    pub memtable_probe_cpu: SimDuration,
+    /// CPU per bloom filter check.
+    pub bloom_check_cpu: SimDuration,
+    /// CPU per index-block seek.
+    pub index_seek_cpu: SimDuration,
+    /// CPU per block-cache hit (hash + seek in block).
+    pub cache_hit_cpu: SimDuration,
+    /// CPU per entry stepped during scans.
+    pub scan_entry_cpu: SimDuration,
+    /// Flush throughput at reference speed (bytes/sec of raw data).
+    pub flush_cpu_bps: f64,
+    /// Compaction merge throughput (bytes/sec of raw data).
+    pub compaction_cpu_bps: f64,
+    /// CPU per entry merged in compaction.
+    pub compaction_entry_cpu: SimDuration,
+    /// Dirty-page threshold that triggers an OS writeback burst when
+    /// `bytes_per_sync`/`wal_bytes_per_sync` are zero.
+    pub os_writeback_burst: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            write_base_cpu: SimDuration::from_nanos(900),
+            write_per_byte_cpu_ns: 1.2,
+            wal_record_cpu: SimDuration::from_nanos(250),
+            wal_per_byte_cpu_ns: 0.3,
+            get_base_cpu: SimDuration::from_nanos(500),
+            memtable_probe_cpu: SimDuration::from_nanos(300),
+            bloom_check_cpu: SimDuration::from_nanos(120),
+            index_seek_cpu: SimDuration::from_nanos(200),
+            cache_hit_cpu: SimDuration::from_nanos(250),
+            scan_entry_cpu: SimDuration::from_nanos(180),
+            flush_cpu_bps: 350e6,
+            compaction_cpu_bps: 300e6,
+            compaction_entry_cpu: SimDuration::from_nanos(100),
+            os_writeback_burst: 64 << 20,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum EventKind {
+    FlushDone {
+        file_number: FileNumber,
+        finished: FinishedTable,
+        mems_consumed: usize,
+    },
+    CompactionDone {
+        inputs: Vec<(usize, Arc<FileMetadata>)>,
+        outputs: Vec<(FileNumber, FinishedTable)>,
+        output_level: usize,
+    },
+    FifoDropDone {
+        files: Vec<Arc<FileMetadata>>,
+    },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap pops the *earliest* event.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct ImmEntry {
+    mem: Arc<MemTable>,
+    wal_number: u64,
+    flushing: bool,
+}
+
+#[derive(Debug)]
+struct DbState {
+    mem: Arc<RwLock<MemTable>>,
+    mem_wal_number: u64,
+    imm: Vec<ImmEntry>,
+    version: Arc<Version>,
+    wal: Option<WalWriter>,
+    wals_on_disk: Vec<u64>,
+    manifest: WalWriter,
+    next_file: u64,
+    last_seq: SequenceNumber,
+    events: BinaryHeap<Event>,
+    event_seq: u64,
+    running_flushes: usize,
+    running_compactions: usize,
+    pending_compaction_bytes: u64,
+    dirty_wal_bytes: u64,
+    writes_since_account: u64,
+}
+
+/// Aggregate statistics exposed for prompts, reports, and tests.
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Ticker counters.
+    pub tickers: TickerSnapshot,
+    /// `(files, bytes)` per level.
+    pub levels: Vec<(usize, u64)>,
+    /// Current memtable + immutable memtable bytes.
+    pub memtable_bytes: u64,
+    /// Immutable memtables waiting to flush.
+    pub immutable_memtables: usize,
+    /// Block cache statistics.
+    pub block_cache: CacheStats,
+    /// Block cache capacity in bytes.
+    pub block_cache_capacity: u64,
+    /// Estimated pending compaction debt in bytes.
+    pub pending_compaction_bytes: u64,
+    /// Background jobs currently in flight.
+    pub running_background_jobs: usize,
+    /// Last sequence number assigned.
+    pub last_sequence: SequenceNumber,
+}
+
+impl DbStats {
+    /// Write amplification so far: total bytes written by flush+compaction
+    /// per byte of user data written.
+    pub fn write_amplification(&self) -> f64 {
+        let user = self.tickers.get(Ticker::BytesWritten).max(1);
+        let physical = self.tickers.get(Ticker::FlushBytesWritten)
+            + self.tickers.get(Ticker::CompactionBytesWritten);
+        physical as f64 / user as f64
+    }
+}
+
+/// One key/value pair returned by a scan.
+pub type ScanResult = Vec<(Vec<u8>, Vec<u8>)>;
+
+struct DbInner {
+    opts: Options,
+    cost: CostModel,
+    env: HardwareEnv,
+    vfs: Arc<dyn Vfs>,
+    state: Mutex<DbState>,
+    block_cache: Option<Arc<BlockCache>>,
+    table_cache: TableCache<TableReader>,
+    tickers: Tickers,
+    controller: WriteController,
+}
+
+impl std::fmt::Debug for DbInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbInner").field("opts", &"..").finish_non_exhaustive()
+    }
+}
+
+/// An LSM-tree key-value store.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Opens (creating or recovering) a database on `vfs` under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for inconsistent options and
+    /// I/O/corruption errors from recovery.
+    pub fn open(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
+        opts.validate()?;
+        let controller = WriteController::from_options(&opts);
+        let block_cache = if opts.no_block_cache {
+            None
+        } else {
+            Some(Arc::new(BlockCache::new(opts.block_cache_size.max(1), 4)))
+        };
+        let table_cache = TableCache::new(opts.max_open_files);
+
+        let state = if vfs.exists(CURRENT_FILE) {
+            Self::recover(&opts, vfs.as_ref())?
+        } else {
+            Self::create_fresh(&opts, vfs.as_ref())?
+        };
+
+        Ok(Db {
+            inner: Arc::new(DbInner {
+                opts,
+                cost: CostModel::default(),
+                env: env.clone(),
+                vfs,
+                state: Mutex::new(state),
+                block_cache,
+                table_cache,
+                tickers: Tickers::new(),
+                controller,
+            }),
+        })
+    }
+
+    /// Opens a fresh database on an in-memory VFS with simulated timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for inconsistent options.
+    pub fn open_sim(opts: Options, env: &HardwareEnv) -> Result<Db> {
+        Self::open(opts, env, Arc::new(MemVfs::new()))
+    }
+
+    /// The options this database runs with.
+    pub fn options(&self) -> &Options {
+        &self.inner.opts
+    }
+
+    /// The current ini rendering of the options (what tuning feeds the
+    /// LLM).
+    pub fn options_ini(&self) -> String {
+        ini::to_ini(&self.inner.opts)
+    }
+
+    fn create_fresh(opts: &Options, vfs: &dyn Vfs) -> Result<DbState> {
+        let manifest_number = 1u64;
+        let manifest_file = vfs.create(&manifest_file_name(manifest_number))?;
+        let mut manifest = WalWriter::new(manifest_file);
+        let wal_number = 2;
+        let edit = VersionEdit {
+            log_number: Some(wal_number),
+            next_file_number: Some(3),
+            last_sequence: Some(0),
+            ..VersionEdit::default()
+        };
+        manifest.add_record(&edit.encode())?;
+        manifest.sync()?;
+        let mut current = vfs.create(CURRENT_FILE)?;
+        current.append(manifest_file_name(manifest_number).as_bytes())?;
+        current.finish()?;
+
+        let wal = if opts.disable_wal {
+            None
+        } else {
+            Some(WalWriter::new(vfs.create(&wal_file_name(wal_number))?))
+        };
+        Ok(DbState {
+            mem: Arc::new(RwLock::new(MemTable::new(memtable_bloom_bytes(opts)))),
+            mem_wal_number: wal_number,
+            imm: Vec::new(),
+            version: Arc::new(Version::empty(opts.num_levels as usize)),
+            wal,
+            wals_on_disk: vec![wal_number],
+            manifest,
+            next_file: 3,
+            last_seq: 0,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            running_flushes: 0,
+            running_compactions: 0,
+            pending_compaction_bytes: 0,
+            dirty_wal_bytes: 0,
+            writes_since_account: 0,
+        })
+    }
+
+    fn recover(opts: &Options, vfs: &dyn Vfs) -> Result<DbState> {
+        // 1. Manifest replay.
+        let current = vfs.read_all(CURRENT_FILE)?;
+        let manifest_name = String::from_utf8(current)
+            .map_err(|_| Error::corruption("CURRENT is not utf-8"))?;
+        let manifest_data = vfs.read_all(manifest_name.trim())?;
+        let replay = replay_wal(&manifest_data, !opts.paranoid_checks)?;
+        let mut version = Version::empty(opts.num_levels as usize);
+        let mut log_number = 0u64;
+        let mut next_file = 3u64;
+        let mut last_seq = 0u64;
+        for record in &replay.records {
+            let edit = VersionEdit::decode(record)?;
+            if let Some(v) = edit.log_number {
+                log_number = v;
+            }
+            if let Some(v) = edit.next_file_number {
+                next_file = next_file.max(v);
+            }
+            if let Some(v) = edit.last_sequence {
+                last_seq = last_seq.max(v);
+            }
+            version = version.apply(&edit)?;
+        }
+
+        // 2. WAL replay into a fresh memtable. Every intact record is
+        // also kept aside so it can be re-logged into the new WAL below —
+        // otherwise a second crash before the next flush would lose the
+        // recovered entries (their old logs are garbage-collected).
+        let mut mem = MemTable::new(memtable_bloom_bytes(opts));
+        let mut replayed_records: Vec<Vec<u8>> = Vec::new();
+        let mut wal_numbers: Vec<u64> = vfs
+            .list("")?
+            .into_iter()
+            .filter_map(|name| {
+                name.strip_suffix(".log")
+                    .and_then(|stem| stem.parse::<u64>().ok())
+            })
+            .filter(|n| *n >= log_number)
+            .collect();
+        wal_numbers.sort_unstable();
+        for n in &wal_numbers {
+            let data = vfs.read_all(&wal_file_name(*n))?;
+            let wal_replay = replay_wal(&data, false)?;
+            for record in &wal_replay.records {
+                replayed_records.push(record.clone());
+                let (first_seq, batch) = WriteBatch::decode(record)?;
+                // Replay everything in surviving WALs: entries that were
+                // already flushed re-insert the identical (seq, value)
+                // pair, which is harmless, while filtering on a sequence
+                // cutoff would lose memtable-only writes (flush edits
+                // record the *global* sequence, not the flushed one).
+                let mut seq = first_seq;
+                for (ty, key, value) in batch.iter() {
+                    mem.add(seq, ty, key, value);
+                    seq += 1;
+                }
+                last_seq = last_seq.max(first_seq + batch.len().saturating_sub(1) as u64);
+            }
+            next_file = next_file.max(n + 1);
+        }
+
+        // 3. Start a new manifest holding a full snapshot, plus a new WAL.
+        let manifest_number = next_file;
+        next_file += 1;
+        let wal_number = next_file;
+        next_file += 1;
+        let mut snapshot = VersionEdit {
+            log_number: Some(wal_number),
+            next_file_number: Some(next_file),
+            last_sequence: Some(last_seq),
+            ..VersionEdit::default()
+        };
+        for level in 0..version.num_levels() {
+            for f in version.files(level) {
+                snapshot.added_files.push((level, Arc::clone(f)));
+            }
+        }
+        let mut manifest = WalWriter::new(vfs.create(&manifest_file_name(manifest_number))?);
+        manifest.add_record(&snapshot.encode())?;
+        manifest.sync()?;
+        let mut current = vfs.create(CURRENT_FILE)?;
+        current.append(manifest_file_name(manifest_number).as_bytes())?;
+        current.finish()?;
+
+        // 4. Garbage-collect obsolete files from before the crash.
+        let live: std::collections::HashSet<u64> =
+            version.live_files().iter().map(|f| f.0).collect();
+        for name in vfs.list("")? {
+            if let Some(stem) = name.strip_suffix(".sst") {
+                if let Ok(n) = stem.parse::<u64>() {
+                    if !live.contains(&n) {
+                        let _ = vfs.delete(&name);
+                    }
+                }
+            } else if let Some(stem) = name.strip_suffix(".log") {
+                if let Ok(n) = stem.parse::<u64>() {
+                    if n < wal_number {
+                        let _ = vfs.delete(&name);
+                    }
+                }
+            } else if name.starts_with("MANIFEST-") && name != manifest_file_name(manifest_number)
+            {
+                let _ = vfs.delete(&name);
+            }
+        }
+
+        let wal = if opts.disable_wal {
+            None
+        } else {
+            let mut writer = WalWriter::new(vfs.create(&wal_file_name(wal_number))?);
+            // Re-log the recovered entries so they survive another crash
+            // even though their original logs are deleted below.
+            for record in &replayed_records {
+                writer.add_record(record)?;
+            }
+            writer.sync()?;
+            Some(writer)
+        };
+        let pending = pending_compaction_bytes(opts, &version);
+        Ok(DbState {
+            mem: Arc::new(RwLock::new(mem)),
+            mem_wal_number: wal_number,
+            imm: Vec::new(),
+            version: Arc::new(version),
+            wal,
+            wals_on_disk: vec![wal_number],
+            manifest,
+            next_file,
+            last_seq,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            running_flushes: 0,
+            running_compactions: 0,
+            pending_compaction_bytes: pending,
+            dirty_wal_bytes: 0,
+            writes_since_account: 0,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Write path
+    // -----------------------------------------------------------------
+
+    /// Inserts one key/value pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// stall cannot clear.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Db::put`].
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch)
+    }
+
+    /// Applies a batch atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// stall cannot clear.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        let mut now = inner.env.clock().now();
+        inner.pump_events(&mut state, now)?;
+        inner.maybe_schedule_flush(&mut state, now)?;
+        inner.maybe_schedule_compaction(&mut state, now)?;
+
+        // Stall / slowdown loop.
+        let batch_bytes = batch.approximate_bytes() as u64;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 100_000 {
+                return Err(Error::Busy("write stall did not clear".into()));
+            }
+            let regime = inner.controller.regime(&inner.pressure(&state));
+            match regime {
+                WriteRegime::Normal => break,
+                WriteRegime::Delayed => {
+                    inner.tickers.inc(Ticker::WriteSlowdowns);
+                    let delay = inner.controller.delay_for(batch_bytes);
+                    inner.env.clock().advance(delay);
+                    inner.tickers.add(Ticker::StallNanos, delay.as_nanos());
+                    now = inner.env.clock().now();
+                    inner.pump_events(&mut state, now)?;
+                    break;
+                }
+                WriteRegime::Stopped => {
+                    inner.tickers.inc(Ticker::WriteStops);
+                    let Some(next) = state.events.peek().map(|e| e.at) else {
+                        // Nothing in flight that could relieve the stall;
+                        // try to schedule work, otherwise give up on
+                        // throttling rather than deadlock.
+                        inner.maybe_schedule_flush(&mut state, now)?;
+                        inner.maybe_schedule_compaction(&mut state, now)?;
+                        if state.events.is_empty() {
+                            break;
+                        }
+                        continue;
+                    };
+                    let wait = next.saturating_since(now);
+                    inner.env.clock().advance_to(next);
+                    inner.tickers.add(Ticker::StallNanos, wait.as_nanos());
+                    now = inner.env.clock().now();
+                    inner.pump_events(&mut state, now)?;
+                    inner.maybe_schedule_flush(&mut state, now)?;
+                    inner.maybe_schedule_compaction(&mut state, now)?;
+                }
+            }
+        }
+
+        // Assign sequence numbers.
+        let first_seq = state.last_seq + 1;
+        state.last_seq += batch.len() as u64;
+
+        // WAL append.
+        let mut cpu = inner.cost.write_base_cpu;
+        if !inner.opts.disable_wal {
+            let record = batch.encode(first_seq);
+            let record_len = record.len() as u64;
+            let wal = state.wal.as_mut().expect("wal enabled");
+            wal.add_record(&record)?;
+            inner.tickers.add(Ticker::WalBytes, record_len);
+            cpu += inner.cost.wal_record_cpu
+                + SimDuration::from_nanos(
+                    (record_len as f64 * inner.cost.wal_per_byte_cpu_ns) as u64,
+                );
+            // Incremental WAL syncing (wal_bytes_per_sync) or OS writeback.
+            let per_sync = inner.opts.wal_bytes_per_sync;
+            if per_sync > 0 && wal.bytes_since_sync() >= per_sync {
+                let chunk = wal.bytes_since_sync();
+                wal.sync()?;
+                let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
+                inner.tickers.inc(Ticker::WalSyncs);
+                if inner.opts.strict_bytes_per_sync {
+                    inner.env.clock().advance_to(done);
+                }
+            } else if per_sync == 0 {
+                state.dirty_wal_bytes += record_len;
+                if state.dirty_wal_bytes >= inner.cost.os_writeback_burst {
+                    // The OS flushes a big burst of dirty pages; it does
+                    // not block the writer but hogs the device.
+                    inner.env.device().submit_write(
+                        now,
+                        state.dirty_wal_bytes,
+                        AccessPattern::Sequential,
+                    );
+                    state.dirty_wal_bytes = 0;
+                    inner.tickers.inc(Ticker::WalSyncs);
+                }
+            }
+        }
+
+        // Memtable insert.
+        let mut inserted_bytes = 0u64;
+        {
+            let mut mem = state.mem.write();
+            let mut seq = first_seq;
+            for (ty, key, value) in batch.iter() {
+                mem.add(seq, ty, key, value);
+                seq += 1;
+                inserted_bytes += (key.len() + value.len()) as u64;
+            }
+        }
+        inner.tickers.add(Ticker::KeysWritten, batch.len() as u64);
+        inner.tickers.add(Ticker::BytesWritten, inserted_bytes);
+        cpu += SimDuration::from_nanos(
+            (inserted_bytes as f64 * inner.cost.write_per_byte_cpu_ns) as u64,
+        );
+
+        // Pipelining and concurrency-control modifiers.
+        let mut factor = 1.0;
+        if inner.opts.enable_pipelined_write {
+            factor *= if inner.env.cpu().num_cores() >= 4 { 0.88 } else { 1.05 };
+        }
+        if !inner.opts.allow_concurrent_memtable_write {
+            factor *= 0.98; // single-writer skips the coordination
+        }
+        factor *= inner.foreground_contention(now);
+        factor *= inner.env.memory().penalty_factor();
+        inner.env.clock().advance(cpu.mul_f64(factor));
+
+        // Memtable switch triggers.
+        let mem_bytes = state.mem.read().approximate_memory_usage() as u64;
+        let wal_total: u64 = state.wal.as_ref().map(|w| w.bytes_written()).unwrap_or(0);
+        let db_buffer_full = inner.opts.db_write_buffer_size > 0
+            && mem_bytes + state.imm_bytes() > inner.opts.db_write_buffer_size;
+        if mem_bytes >= inner.opts.write_buffer_size
+            || wal_total >= inner.opts.effective_max_total_wal_size()
+            || db_buffer_full
+        {
+            inner.switch_memtable(&mut state)?;
+            let now = inner.env.clock().now();
+            inner.maybe_schedule_flush(&mut state, now)?;
+        }
+
+        state.writes_since_account += 1;
+        if state.writes_since_account >= 1024 {
+            state.writes_since_account = 0;
+            inner.account_memory(&state);
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Read path
+    // -----------------------------------------------------------------
+
+    /// Reads the newest value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        let (mem, imm, version, snapshot) = {
+            let mut state = inner.state.lock();
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            (
+                Arc::clone(&state.mem),
+                state
+                    .imm
+                    .iter()
+                    .map(|e| Arc::clone(&e.mem))
+                    .collect::<Vec<_>>(),
+                Arc::clone(&state.version),
+                state.last_seq,
+            )
+        };
+
+        let mut cpu = inner.cost.get_base_cpu + inner.cost.memtable_probe_cpu;
+        let mut found: Option<Option<Vec<u8>>> = None;
+
+        match mem.read().get(key, snapshot) {
+            MemTableGet::Found(v) => {
+                inner.tickers.inc(Ticker::MemtableHit);
+                found = Some(Some(v));
+            }
+            MemTableGet::Deleted => {
+                inner.tickers.inc(Ticker::MemtableHit);
+                found = Some(None);
+            }
+            MemTableGet::NotFound => {}
+        }
+        if found.is_none() {
+            for m in &imm {
+                cpu += inner.cost.memtable_probe_cpu;
+                match m.get(key, snapshot) {
+                    MemTableGet::Found(v) => {
+                        found = Some(Some(v));
+                        break;
+                    }
+                    MemTableGet::Deleted => {
+                        found = Some(None);
+                        break;
+                    }
+                    MemTableGet::NotFound => {}
+                }
+            }
+        }
+        if found.is_none() {
+            inner.tickers.inc(Ticker::MemtableMiss);
+            found = inner.search_tables(&version, key, snapshot, &mut cpu)?;
+        }
+
+        let mut factor = inner.foreground_contention(inner.env.clock().now());
+        if inner.opts.paranoid_checks {
+            factor *= 1.08;
+        }
+        if inner.opts.use_direct_reads {
+            factor *= 1.05;
+        }
+        factor *= inner.env.memory().penalty_factor();
+        inner.env.clock().advance(cpu.mul_f64(factor));
+
+        inner.tickers.inc(Ticker::KeysRead);
+        match found {
+            Some(Some(v)) => {
+                inner.tickers.inc(Ticker::GetHit);
+                Ok(Some(v))
+            }
+            _ => {
+                inner.tickers.inc(Ticker::GetMiss);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Scans forward from `start`, returning up to `count` live entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        let inner = &*self.inner;
+        let (mem, imm, version, snapshot) = {
+            let mut state = inner.state.lock();
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            (
+                Arc::clone(&state.mem),
+                state
+                    .imm
+                    .iter()
+                    .map(|e| Arc::clone(&e.mem))
+                    .collect::<Vec<_>>(),
+                Arc::clone(&state.version),
+                state.last_seq,
+            )
+        };
+
+        let target = crate::types::lookup_key(start, snapshot);
+        let mut cursors: Vec<Box<dyn ScanCursor>> = Vec::new();
+        cursors.push(Box::new(LockedMemCursor::new(mem, target.encoded())));
+        for m in imm {
+            cursors.push(Box::new(MemCursor::new(m, target.encoded())));
+        }
+        for f in version.files(0) {
+            if f.largest.user_key() >= start {
+                cursors.push(Box::new(FileCursor::open(inner, Arc::clone(f), target.encoded())?));
+            }
+        }
+        for level in 1..version.num_levels() {
+            let files: Vec<Arc<FileMetadata>> = version
+                .files(level)
+                .iter()
+                .filter(|f| f.largest.user_key() >= start)
+                .cloned()
+                .collect();
+            if !files.is_empty() {
+                cursors.push(Box::new(LevelCursor::open(inner, files, target.encoded())?));
+            }
+        }
+
+        let mut out = Vec::with_capacity(count);
+        let mut last_user: Option<Vec<u8>> = None;
+        let mut cpu = inner.cost.get_base_cpu;
+        while out.len() < count {
+            // Pick the smallest current key across cursors.
+            let mut best: Option<usize> = None;
+            for (i, c) in cursors.iter().enumerate() {
+                if let Some(k) = c.key() {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            let bk = cursors[b].key().expect("best cursor valid");
+                            if internal_key_cmp(k, bk) == std::cmp::Ordering::Less {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(idx) = best else { break };
+            let key = cursors[idx].key().expect("valid").to_vec();
+            let value = cursors[idx].value().expect("valid").to_vec();
+            cursors[idx].advance(inner)?;
+            cpu += inner.cost.scan_entry_cpu;
+
+            let user_key = &key[..key.len() - 8];
+            if last_user.as_deref() == Some(user_key) {
+                continue; // shadowed
+            }
+            last_user = Some(user_key.to_vec());
+            let tag = u64::from_le_bytes(key[key.len() - 8..].try_into().expect("tag"));
+            if (tag & 0xff) == ValueType::Deletion as u64 {
+                continue; // tombstone
+            }
+            out.push((user_key.to_vec(), value));
+        }
+        let factor =
+            inner.foreground_contention(inner.env.clock().now()) * inner.env.memory().penalty_factor();
+        inner.env.clock().advance(cpu.mul_f64(factor));
+        inner.tickers.add(Ticker::KeysRead, out.len() as u64);
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Maintenance
+    // -----------------------------------------------------------------
+
+    /// Flushes the active memtable and waits for all pending flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush I/O errors.
+    pub fn flush(&self) -> Result<()> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        if !state.mem.read().is_empty() {
+            inner.switch_memtable(&mut state)?;
+        }
+        loop {
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            inner.maybe_schedule_flush(&mut state, now)?;
+            if state.imm.is_empty() && state.running_flushes == 0 {
+                return Ok(());
+            }
+            let Some(next) = state.events.peek().map(|e| e.at) else {
+                return Ok(());
+            };
+            inner.env.clock().advance_to(next);
+        }
+    }
+
+    /// Runs compactions until the tree is quiescent (no picks pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compaction I/O errors.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()?;
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        loop {
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            inner.maybe_schedule_compaction(&mut state, now)?;
+            if state.running_compactions == 0 && state.running_flushes == 0 {
+                let quiet = pick_compaction(&inner.opts, &state.version).is_none();
+                if quiet {
+                    return Ok(());
+                }
+            }
+            let Some(next) = state.events.peek().map(|e| e.at) else {
+                return Ok(());
+            };
+            inner.env.clock().advance_to(next);
+        }
+    }
+
+    /// Compacts every file overlapping the user-key range `[start, end]`
+    /// down the tree until the range lives on a single level, flushing
+    /// first. Useful for space reclamation and read-path benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/compaction I/O errors.
+    pub fn compact_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        self.flush()?;
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        loop {
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            if state.running_compactions > 0 || state.running_flushes > 0 {
+                let Some(next) = state.events.peek().map(|e| e.at) else {
+                    break;
+                };
+                inner.env.clock().advance_to(next);
+                continue;
+            }
+            // Find the shallowest level with files in range that has any
+            // deeper level (or overlap) to merge into.
+            let version = Arc::clone(&state.version);
+            let n = version.num_levels();
+            let mut scheduled = false;
+            for level in 0..n - 1 {
+                let overlapping = version.overlapping_files(level, start, end);
+                let unclaimed: Vec<_> = overlapping
+                    .into_iter()
+                    .filter(|f| !f.is_being_compacted())
+                    .collect();
+                if unclaimed.is_empty() {
+                    continue;
+                }
+                // Already fully pushed down? Only compact if a deeper
+                // level holds overlapping data or this is not the last
+                // populated level in range.
+                let deeper_has_data = (level + 1..n)
+                    .any(|l| !version.overlapping_files(l, start, end).is_empty());
+                if !deeper_has_data && level > 0 && version.files(0).is_empty() {
+                    continue;
+                }
+                let output_level = level + 1;
+                let bottom = version.overlapping_files(output_level, start, end);
+                if bottom.iter().any(|f| f.is_being_compacted()) {
+                    continue;
+                }
+                let mut inputs: Vec<(usize, Arc<FileMetadata>)> =
+                    unclaimed.into_iter().map(|f| (level, f)).collect();
+                inputs.extend(bottom.into_iter().map(|f| (output_level, f)));
+                let c = crate::compaction::CompactionInputs {
+                    inputs,
+                    output_level,
+                    reason: crate::compaction::CompactionReason::LevelSize,
+                };
+                inner.schedule_merge(&mut state, now, c)?;
+                scheduled = true;
+                break;
+            }
+            if !scheduled {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks (advancing virtual time) until all background work is done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates background job errors.
+    pub fn wait_background_idle(&self) -> Result<()> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        loop {
+            let now = inner.env.clock().now();
+            inner.pump_events(&mut state, now)?;
+            if state.events.is_empty() {
+                return Ok(());
+            }
+            let next = state.events.peek().expect("non-empty").at;
+            inner.env.clock().advance_to(next);
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let inner = &*self.inner;
+        let state = inner.state.lock();
+        let levels = (0..state.version.num_levels())
+            .map(|l| (state.version.files(l).len(), state.version.level_bytes(l)))
+            .collect();
+        let memtable_bytes = state.mem.read().approximate_memory_usage() as u64 + state.imm_bytes();
+        DbStats {
+            tickers: inner.tickers.snapshot(),
+            levels,
+            memtable_bytes,
+            immutable_memtables: state.imm.len(),
+            block_cache: inner
+                .block_cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
+            block_cache_capacity: inner.block_cache.as_ref().map(|c| c.capacity()).unwrap_or(0),
+            pending_compaction_bytes: state.pending_compaction_bytes,
+            running_background_jobs: state.running_flushes + state.running_compactions,
+            last_sequence: state.last_seq,
+        }
+    }
+}
+
+fn memtable_bloom_bytes(opts: &Options) -> usize {
+    (opts.write_buffer_size as f64 * opts.memtable_prefix_bloom_size_ratio) as usize
+}
+
+impl DbState {
+    fn imm_bytes(&self) -> u64 {
+        self.imm
+            .iter()
+            .map(|e| e.mem.approximate_memory_usage() as u64)
+            .sum()
+    }
+}
+
+impl DbInner {
+    fn table_config(&self) -> TableConfig {
+        TableConfig {
+            block_size: self.opts.block_size as usize,
+            restart_interval: self.opts.block_restart_interval.max(1) as usize,
+            compression: self.opts.compression,
+            bloom_bits_per_key: if self.opts.whole_key_filtering {
+                self.opts.bloom_filter_bits_per_key
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn bottom_table_config(&self) -> TableConfig {
+        let mut c = self.table_config();
+        c.compression = self.opts.effective_bottommost_compression();
+        if self.opts.optimize_filters_for_hits {
+            c.bloom_bits_per_key = 0.0;
+        }
+        c
+    }
+
+    /// Slowdown applied to foreground CPU when background jobs occupy
+    /// cores.
+    fn foreground_contention(&self, now: SimTime) -> f64 {
+        let cores = self.env.cpu().num_cores().max(1);
+        let busy = self.env.cpu().busy_cores(now).min(cores);
+        1.0 + 0.6 * busy as f64 / cores as f64
+    }
+
+    fn pressure(&self, state: &DbState) -> WritePressure {
+        WritePressure {
+            l0_files: state.version.files(0).len(),
+            immutable_memtables: state.imm.len(),
+            total_memtables: state.imm.len() + 1,
+            pending_compaction_bytes: state.pending_compaction_bytes,
+        }
+    }
+
+    fn account_memory(&self, state: &DbState) {
+        let mem_bytes = state.mem.read().approximate_memory_usage() as u64 + state.imm_bytes();
+        self.env.memory().set_usage(MemoryUser::Memtables, mem_bytes);
+        if let Some(c) = &self.block_cache {
+            self.env.memory().set_usage(MemoryUser::BlockCache, c.used_bytes());
+        }
+    }
+
+    fn alloc_file_number(&self, state: &mut DbState) -> FileNumber {
+        let n = state.next_file;
+        state.next_file += 1;
+        FileNumber(n)
+    }
+
+    fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
+        let old = {
+            let mut guard = state.mem.write();
+            std::mem::replace(&mut *guard, MemTable::new(memtable_bloom_bytes(&self.opts)))
+        };
+        if old.is_empty() {
+            return Ok(());
+        }
+        let old_wal = state.mem_wal_number;
+        state.imm.push(ImmEntry {
+            mem: Arc::new(old),
+            wal_number: old_wal,
+            flushing: false,
+        });
+
+        // New WAL file for the new memtable generation.
+        if !self.opts.disable_wal {
+            let wal_number = state.next_file;
+            state.next_file += 1;
+            state.wal = Some(WalWriter::new(self.vfs.create(&wal_file_name(wal_number))?));
+            state.wals_on_disk.push(wal_number);
+            state.mem_wal_number = wal_number;
+        }
+        self.account_memory(state);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Background scheduling
+    // -----------------------------------------------------------------
+
+    fn push_event(&self, state: &mut DbState, at: SimTime, kind: EventKind) {
+        state.event_seq += 1;
+        let seq = state.event_seq;
+        state.events.push(Event { at, seq, kind });
+    }
+
+    fn maybe_schedule_flush(&self, state: &mut DbState, now: SimTime) -> Result<()> {
+        let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+        loop {
+            if state.running_flushes >= self.opts.effective_max_flushes() {
+                return Ok(());
+            }
+            let waiting: Vec<usize> = state
+                .imm
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.flushing)
+                .map(|(i, _)| i)
+                .collect();
+            // Flush when enough memtables accumulated, or when the write
+            // path is blocked on memtable count (can't wait for more).
+            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            if waiting.is_empty() || (waiting.len() < min_merge && !forced) {
+                return Ok(());
+            }
+            let take: Vec<usize> = waiting.into_iter().take(min_merge.max(1)).collect();
+            let mems: Vec<Arc<MemTable>> =
+                take.iter().map(|i| Arc::clone(&state.imm[*i].mem)).collect();
+            for i in &take {
+                state.imm[*i].flushing = true;
+            }
+            let file_number = self.alloc_file_number(state);
+
+            // Build the table eagerly; account its cost on the hardware.
+            let finished = match build_l0_table(
+                self.vfs.as_ref(),
+                file_number,
+                &mems,
+                self.table_config(),
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    for i in &take {
+                        state.imm[*i].flushing = false;
+                    }
+                    let _ = self.vfs.delete(&sst_file_name(file_number));
+                    return Err(e);
+                }
+            };
+
+            let raw = finished.properties.raw_bytes;
+            let cpu_cost = SimDuration::from_secs_f64(raw as f64 / self.cost.flush_cpu_bps)
+                + finished.compression_cpu;
+            let slot = self.env.cpu().run(now, cpu_cost);
+            let io_done = self.submit_background_write(slot.start, finished.file_size);
+            let mut end = slot.end.max(io_done);
+            if self.opts.rate_limiter_bytes_per_sec > 0 {
+                let min_dur = SimDuration::from_secs_f64(
+                    finished.file_size as f64 / self.opts.rate_limiter_bytes_per_sec as f64,
+                );
+                end = end.max(slot.start + min_dur);
+            }
+            let end = slot.start + (end - slot.start).mul_f64(self.env.memory().penalty_factor());
+
+            self.tickers.inc(Ticker::FlushJobs);
+            self.tickers.add(Ticker::FlushBytesWritten, finished.file_size);
+            state.running_flushes += 1;
+            let mems_consumed = take.len();
+            self.push_event(
+                state,
+                end,
+                EventKind::FlushDone {
+                    file_number,
+                    finished,
+                    mems_consumed,
+                },
+            );
+        }
+    }
+
+    /// Submits a background sequential write in `bytes_per_sync`-sized
+    /// chunks (or one OS burst) and returns the last completion.
+    fn submit_background_write(&self, start: SimTime, total: u64) -> SimTime {
+        let chunk = if self.opts.bytes_per_sync > 0 {
+            self.opts.bytes_per_sync
+        } else {
+            self.cost.os_writeback_burst
+        }
+        .max(64 << 10);
+        let mut remaining = total;
+        let mut done = start;
+        let mut at = start;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            done = self.env.device().submit_write(at, n, AccessPattern::Sequential);
+            at = done;
+            remaining -= n;
+        }
+        // Durability point at file close.
+        self.env.device().submit_sync(done)
+    }
+
+    fn maybe_schedule_compaction(&self, state: &mut DbState, now: SimTime) -> Result<()> {
+        if self.opts.disable_auto_compactions {
+            return Ok(());
+        }
+        while state.running_compactions < self.opts.effective_max_compactions() {
+            let Some(pick) = pick_compaction(&self.opts, &state.version) else {
+                return Ok(());
+            };
+            match pick {
+                CompactionPick::Drop { files, .. } => {
+                    for f in &files {
+                        f.set_being_compacted(true);
+                    }
+                    state.running_compactions += 1;
+                    self.push_event(
+                        state,
+                        now + SimDuration::from_micros(500),
+                        EventKind::FifoDropDone { files },
+                    );
+                }
+                CompactionPick::Merge(c) => {
+                    self.schedule_merge(state, now, c)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one merging compaction and schedules its completion.
+    fn schedule_merge(
+        &self,
+        state: &mut DbState,
+        now: SimTime,
+        c: crate::compaction::CompactionInputs,
+    ) -> Result<()> {
+        for (_, f) in &c.inputs {
+            f.set_being_compacted(true);
+        }
+        let output_level = c.output_level;
+        let bottommost = output_level + 1 >= state.version.num_levels()
+            || (output_level + 1..state.version.num_levels())
+                .all(|l| state.version.files(l).is_empty());
+        let target = self.opts.target_file_size_base.max(64 << 10)
+            * (self.opts.target_file_size_multiplier.max(1) as u64)
+                .pow(output_level.saturating_sub(1) as u32);
+        let config = if bottommost {
+            self.bottom_table_config()
+        } else {
+            self.table_config()
+        };
+        let files: Vec<Arc<FileMetadata>> =
+            c.inputs.iter().map(|(_, f)| Arc::clone(f)).collect();
+        // Allocate output numbers through a small local pool.
+        let output = {
+            let state_ref: &mut DbState = state;
+            let mut next = state_ref.next_file;
+            let result = run_compaction(
+                self.vfs.as_ref(),
+                &files,
+                bottommost,
+                target,
+                &config,
+                || {
+                    let n = next;
+                    next += 1;
+                    FileNumber(n)
+                },
+            );
+            state_ref.next_file = next;
+            result
+        };
+        let output = match output {
+            Ok(o) => o,
+            Err(e) => {
+                for (_, f) in &c.inputs {
+                    f.set_being_compacted(false);
+                }
+                return Err(e);
+            }
+        };
+
+        // Cost model: chunked reads (readahead), chunked
+        // writes, merge CPU split across subcompactions.
+        let readahead = self.opts.compaction_readahead_size.max(64 << 10);
+        let rotational = self.env.device().model().class.is_rotational();
+        let read_pattern = if rotational {
+            AccessPattern::Random // one seek per readahead chunk
+        } else {
+            AccessPattern::Sequential
+        };
+        let subs = (self.opts.max_subcompactions.max(1) as usize)
+            .min(files.len())
+            .max(1);
+        let cpu_total = SimDuration::from_secs_f64(
+            output.bytes_read as f64 / self.cost.compaction_cpu_bps,
+        ) + SimDuration::from_nanos(
+            output.entries_read
+                * self.cost.compaction_entry_cpu.as_nanos(),
+        ) + output.compression_cpu
+            + if self.opts.compression != crate::options::CompressionType::None {
+                decompress_cpu_cost(self.opts.compression, output.bytes_read as usize)
+            } else {
+                SimDuration::ZERO
+            };
+        let per_sub = cpu_total.mul_f64(1.0 / subs as f64);
+        let mut cpu_end = now;
+        let mut start = now;
+        for _ in 0..subs {
+            let slot = self.env.cpu().run(now, per_sub);
+            cpu_end = cpu_end.max(slot.end);
+            start = start.max(slot.start);
+        }
+        // Reads.
+        let mut io_end = start;
+        let mut at = start;
+        let mut remaining = output.bytes_read;
+        while remaining > 0 {
+            let n = remaining.min(readahead);
+            io_end = self.env.device().submit_read(at, n, read_pattern);
+            at = io_end;
+            remaining -= n;
+        }
+        // Writes.
+        let write_done = self.submit_background_write(start, output.bytes_written);
+        let mut end = cpu_end.max(io_end).max(write_done);
+        if self.opts.rate_limiter_bytes_per_sec > 0 {
+            let min_dur = SimDuration::from_secs_f64(
+                (output.bytes_read + output.bytes_written) as f64
+                    / self.opts.rate_limiter_bytes_per_sec as f64,
+            );
+            end = end.max(start + min_dur);
+        }
+        let end = start + (end - start).mul_f64(self.env.memory().penalty_factor());
+
+        self.tickers.inc(Ticker::CompactionJobs);
+        self.tickers.add(Ticker::CompactionBytesRead, output.bytes_read);
+        self.tickers.add(Ticker::CompactionBytesWritten, output.bytes_written);
+        state.running_compactions += 1;
+        self.push_event(
+            state,
+            end,
+            EventKind::CompactionDone {
+                inputs: c.inputs,
+                outputs: output.files,
+                output_level,
+            },
+        );
+
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Event application
+    // -----------------------------------------------------------------
+
+    fn pump_events(&self, state: &mut DbState, now: SimTime) -> Result<()> {
+        while state.events.peek().map(|e| e.at <= now).unwrap_or(false) {
+            let event = state.events.pop().expect("peeked");
+            match event.kind {
+                EventKind::FlushDone {
+                    file_number,
+                    finished,
+                    mems_consumed,
+                } => {
+                    self.apply_flush_done(state, event.at, file_number, finished, mems_consumed)?;
+                }
+                EventKind::CompactionDone {
+                    inputs,
+                    outputs,
+                    output_level,
+                } => {
+                    self.apply_compaction_done(state, event.at, inputs, outputs, output_level)?;
+                }
+                EventKind::FifoDropDone { files } => {
+                    self.apply_fifo_drop(state, event.at, files)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_flush_done(
+        &self,
+        state: &mut DbState,
+        at: SimTime,
+        file_number: FileNumber,
+        finished: FinishedTable,
+        mems_consumed: usize,
+    ) -> Result<()> {
+        let meta = Arc::new(FileMetadata::new(
+            file_number,
+            finished.file_size,
+            finished.smallest.clone(),
+            finished.largest.clone(),
+            finished.properties.num_entries,
+        ));
+        // Remove the consumed memtables (the oldest `mems_consumed`
+        // flushing entries).
+        let mut removed = 0;
+        state.imm.retain(|e| {
+            if e.flushing && removed < mems_consumed {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        // WALs older than every remaining memtable can go.
+        let min_wal = state
+            .imm
+            .iter()
+            .map(|e| e.wal_number)
+            .chain(std::iter::once(state.mem_wal_number))
+            .min()
+            .unwrap_or(state.mem_wal_number);
+        let mut edit = VersionEdit {
+            log_number: Some(min_wal),
+            next_file_number: Some(state.next_file),
+            last_sequence: Some(state.last_seq),
+            ..VersionEdit::default()
+        };
+        edit.added_files.push((0, Arc::clone(&meta)));
+        state.manifest.add_record(&edit.encode())?;
+        self.env.device().submit_write(at, 128, AccessPattern::Sequential);
+        state.version = Arc::new(state.version.apply(&edit)?);
+        state.wals_on_disk.retain(|n| {
+            if *n < min_wal {
+                let _ = self.vfs.delete(&wal_file_name(*n));
+                false
+            } else {
+                true
+            }
+        });
+        state.running_flushes -= 1;
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        self.account_memory(state);
+        self.maybe_schedule_flush(state, at)?;
+        self.maybe_schedule_compaction(state, at)?;
+        Ok(())
+    }
+
+    fn apply_compaction_done(
+        &self,
+        state: &mut DbState,
+        at: SimTime,
+        inputs: Vec<(usize, Arc<FileMetadata>)>,
+        outputs: Vec<(FileNumber, FinishedTable)>,
+        output_level: usize,
+    ) -> Result<()> {
+        let mut edit = VersionEdit {
+            next_file_number: Some(state.next_file),
+            last_sequence: Some(state.last_seq),
+            ..VersionEdit::default()
+        };
+        for (level, f) in &inputs {
+            edit.deleted_files.push((*level, f.number));
+        }
+        for (number, fin) in &outputs {
+            edit.added_files.push((
+                output_level,
+                Arc::new(FileMetadata::new(
+                    *number,
+                    fin.file_size,
+                    fin.smallest.clone(),
+                    fin.largest.clone(),
+                    fin.properties.num_entries,
+                )),
+            ));
+        }
+        state.manifest.add_record(&edit.encode())?;
+        self.env.device().submit_write(at, 256, AccessPattern::Sequential);
+        state.version = Arc::new(state.version.apply(&edit)?);
+        for (_, f) in &inputs {
+            f.set_being_compacted(false);
+            let _ = self.vfs.delete(&sst_file_name(f.number));
+            self.table_cache.evict(f.number);
+            self.tickers.inc(Ticker::FilesDeleted);
+        }
+        state.running_compactions -= 1;
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        self.maybe_schedule_compaction(state, at)?;
+        Ok(())
+    }
+
+    fn apply_fifo_drop(
+        &self,
+        state: &mut DbState,
+        at: SimTime,
+        files: Vec<Arc<FileMetadata>>,
+    ) -> Result<()> {
+        let mut edit = VersionEdit::default();
+        for f in &files {
+            edit.deleted_files.push((0, f.number));
+        }
+        state.manifest.add_record(&edit.encode())?;
+        state.version = Arc::new(state.version.apply(&edit)?);
+        for f in &files {
+            f.set_being_compacted(false);
+            let _ = self.vfs.delete(&sst_file_name(f.number));
+            self.table_cache.evict(f.number);
+            self.tickers.inc(Ticker::FilesDeleted);
+        }
+        state.running_compactions -= 1;
+        self.maybe_schedule_compaction(state, at)?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Table access with timing
+    // -----------------------------------------------------------------
+
+    fn open_table(&self, file: &FileMetadata, cpu: &mut SimDuration) -> Result<Arc<TableReader>> {
+        if let Some(r) = self.table_cache.get(file.number) {
+            // With cache_index_and_filter_blocks the resident metadata
+            // lives in the block cache and may have been evicted; charge
+            // a re-read when it is gone.
+            if self.opts.cache_index_and_filter_blocks {
+                if let Some(cache) = &self.block_cache {
+                    let key = BlockKey {
+                        file: file.number,
+                        offset: u64::MAX,
+                    };
+                    if cache.get(&key).is_none() {
+                        let now = self.env.clock().now();
+                        let done = self.env.device().submit_read(
+                            now,
+                            r.resident_bytes().max(4096),
+                            AccessPattern::Random,
+                        );
+                        self.env.clock().advance_to(done);
+                        cache.insert(key, Arc::new(vec![0u8; r.resident_bytes() as usize]));
+                    }
+                }
+            }
+            return Ok(r);
+        }
+        let handle = self.vfs.open(&sst_file_name(file.number))?;
+        let (reader, bytes_read) = TableReader::open(handle)?;
+        // Footer + index + filter: three random reads.
+        let now = self.env.clock().now();
+        let mut done = now;
+        for part in split3(bytes_read) {
+            done = self.env.device().submit_read(done, part, AccessPattern::Random);
+        }
+        self.env.clock().advance_to(done);
+        *cpu += SimDuration::from_micros(3); // parse footer/index/filter
+        self.tickers.inc(Ticker::TableOpens);
+        self.tickers.add(Ticker::BytesRead, bytes_read);
+        let reader = Arc::new(reader);
+        if self.opts.cache_index_and_filter_blocks {
+            if let Some(cache) = &self.block_cache {
+                cache.insert(
+                    BlockKey {
+                        file: file.number,
+                        offset: u64::MAX,
+                    },
+                    Arc::new(vec![0u8; reader.resident_bytes() as usize]),
+                );
+            }
+        } else {
+            self.env
+                .memory()
+                .reserve(MemoryUser::TableCache, reader.resident_bytes());
+        }
+        self.table_cache.insert(file.number, Arc::clone(&reader));
+        Ok(reader)
+    }
+
+    /// Fetches an uncompressed block through the cache, charging device
+    /// time on miss.
+    fn fetch_block(
+        &self,
+        reader: &TableReader,
+        file: FileNumber,
+        handle: crate::sstable::table::BlockHandle,
+        cpu: &mut SimDuration,
+    ) -> Result<Arc<Vec<u8>>> {
+        let key = BlockKey {
+            file,
+            offset: handle.offset,
+        };
+        if let Some(cache) = &self.block_cache {
+            if let Some(b) = cache.get(&key) {
+                self.tickers.inc(Ticker::BlockCacheHit);
+                *cpu += self.cost.cache_hit_cpu;
+                return Ok(b);
+            }
+            self.tickers.inc(Ticker::BlockCacheMiss);
+        }
+        let fetch = reader.read_block(handle)?;
+        let now = self.env.clock().now();
+        let done = self
+            .env
+            .device()
+            .submit_read(now, fetch.io_bytes, AccessPattern::Random);
+        self.env.clock().advance_to(done);
+        self.tickers.add(Ticker::BytesRead, fetch.io_bytes);
+        if fetch.was_compressed {
+            *cpu += decompress_cpu_cost(self.opts.compression, fetch.data.len());
+        }
+        let data = Arc::new(fetch.data);
+        if let Some(cache) = &self.block_cache {
+            cache.insert(key, Arc::clone(&data));
+        }
+        Ok(data)
+    }
+
+    fn search_tables(
+        &self,
+        version: &Version,
+        key: &[u8],
+        snapshot: SequenceNumber,
+        cpu: &mut SimDuration,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let target = crate::types::lookup_key(key, snapshot);
+        // L0: newest first, ranges may overlap.
+        for f in version.files(0) {
+            if key < f.smallest.user_key() || key > f.largest.user_key() {
+                continue;
+            }
+            if let Some(result) = self.probe_table(f, key, &target, cpu)? {
+                return Ok(Some(result));
+            }
+        }
+        // Deeper levels: at most one file can contain the key.
+        for level in 1..version.num_levels() {
+            let files = version.files(level);
+            if files.is_empty() {
+                continue;
+            }
+            // Binary search by largest user key.
+            let idx = files.partition_point(|f| f.largest.user_key() < key);
+            if idx >= files.len() {
+                continue;
+            }
+            let f = &files[idx];
+            if key < f.smallest.user_key() {
+                continue;
+            }
+            *cpu += SimDuration::from_nanos(60); // range binary search
+            if let Some(result) = self.probe_table(f, key, &target, cpu)? {
+                return Ok(Some(result));
+            }
+        }
+        Ok(None)
+    }
+
+    fn probe_table(
+        &self,
+        file: &FileMetadata,
+        user_key: &[u8],
+        target: &InternalKey,
+        cpu: &mut SimDuration,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let reader = self.open_table(file, cpu)?;
+        if reader.has_filter() {
+            self.tickers.inc(Ticker::BloomChecked);
+            *cpu += self.cost.bloom_check_cpu;
+            if !reader.may_contain(user_key) {
+                self.tickers.inc(Ticker::BloomUseful);
+                return Ok(None);
+            }
+        }
+        *cpu += self.cost.index_seek_cpu;
+        let Some(handle) = reader.find_block(target.encoded())? else {
+            return Ok(None);
+        };
+        let data = self.fetch_block(&reader, file.number, handle, cpu)?;
+        let block = Block::parse(data.as_ref().clone())?;
+        *cpu += SimDuration::from_nanos(300); // block binary search + scan
+        match block.seek(target.encoded())? {
+            Some((k, v)) => {
+                let found_user = &k[..k.len() - 8];
+                if found_user != user_key {
+                    return Ok(None);
+                }
+                let tag = u64::from_le_bytes(k[k.len() - 8..].try_into().expect("tag"));
+                if (tag & 0xff) == ValueType::Deletion as u64 {
+                    Ok(Some(None))
+                } else {
+                    Ok(Some(Some(v)))
+                }
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn split3(total: u64) -> [u64; 3] {
+    let third = total / 3;
+    [third, third, total - 2 * third]
+}
+
+// ---------------------------------------------------------------------------
+// Scan cursors
+// ---------------------------------------------------------------------------
+
+trait ScanCursor {
+    fn key(&self) -> Option<&[u8]>;
+    fn value(&self) -> Option<&[u8]>;
+    fn advance(&mut self, inner: &DbInner) -> Result<()>;
+}
+
+struct LockedMemCursor {
+    mem: Arc<RwLock<MemTable>>,
+    current: Option<(Vec<u8>, Vec<u8>)>,
+}
+
+impl LockedMemCursor {
+    fn new(mem: Arc<RwLock<MemTable>>, target: &[u8]) -> Self {
+        let current = mem.read().next_at_or_after(target, false);
+        LockedMemCursor { mem, current }
+    }
+}
+
+impl ScanCursor for LockedMemCursor {
+    fn key(&self) -> Option<&[u8]> {
+        self.current.as_ref().map(|(k, _)| k.as_slice())
+    }
+    fn value(&self) -> Option<&[u8]> {
+        self.current.as_ref().map(|(_, v)| v.as_slice())
+    }
+    fn advance(&mut self, _inner: &DbInner) -> Result<()> {
+        if let Some((k, _)) = &self.current {
+            self.current = self.mem.read().next_at_or_after(k, true);
+        }
+        Ok(())
+    }
+}
+
+struct MemCursor {
+    mem: Arc<MemTable>,
+    current: Option<(Vec<u8>, Vec<u8>)>,
+}
+
+impl MemCursor {
+    fn new(mem: Arc<MemTable>, target: &[u8]) -> Self {
+        let current = mem.next_at_or_after(target, false);
+        MemCursor { mem, current }
+    }
+}
+
+impl ScanCursor for MemCursor {
+    fn key(&self) -> Option<&[u8]> {
+        self.current.as_ref().map(|(k, _)| k.as_slice())
+    }
+    fn value(&self) -> Option<&[u8]> {
+        self.current.as_ref().map(|(_, v)| v.as_slice())
+    }
+    fn advance(&mut self, _inner: &DbInner) -> Result<()> {
+        if let Some((k, _)) = &self.current {
+            self.current = self.mem.next_at_or_after(k, true);
+        }
+        Ok(())
+    }
+}
+
+struct FileCursor {
+    file: Arc<FileMetadata>,
+    reader: Arc<TableReader>,
+    handles: Vec<crate::sstable::table::BlockHandle>,
+    next_block: usize,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+}
+
+impl FileCursor {
+    fn open(inner: &DbInner, file: Arc<FileMetadata>, target: &[u8]) -> Result<FileCursor> {
+        let mut cpu = SimDuration::ZERO;
+        let reader = inner.open_table(&file, &mut cpu)?;
+        let handles = reader.block_handles()?;
+        inner.env.clock().advance(cpu);
+        let mut c = FileCursor {
+            file,
+            reader,
+            handles,
+            next_block: 0,
+            entries: Vec::new(),
+            pos: 0,
+        };
+        // Skip blocks wholly before the target using the index order.
+        c.load_until(inner, target)?;
+        Ok(c)
+    }
+
+    fn load_until(&mut self, inner: &DbInner, target: &[u8]) -> Result<()> {
+        loop {
+            self.load_next_block(inner)?;
+            if self.entries.is_empty() {
+                return Ok(()); // exhausted
+            }
+            let last = &self.entries[self.entries.len() - 1].0;
+            if internal_key_cmp(last, target) != std::cmp::Ordering::Less {
+                // Position within this block.
+                while self.pos < self.entries.len()
+                    && internal_key_cmp(&self.entries[self.pos].0, target)
+                        == std::cmp::Ordering::Less
+                {
+                    self.pos += 1;
+                }
+                if self.pos < self.entries.len() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn load_next_block(&mut self, inner: &DbInner) -> Result<()> {
+        self.entries.clear();
+        self.pos = 0;
+        let mut cpu = SimDuration::ZERO;
+        while self.entries.is_empty() && self.next_block < self.handles.len() {
+            let data = inner.fetch_block(
+                &self.reader,
+                self.file.number,
+                self.handles[self.next_block],
+                &mut cpu,
+            )?;
+            self.next_block += 1;
+            let block = Block::parse(data.as_ref().clone())?;
+            let mut it = block.iter();
+            while it.advance()? {
+                self.entries.push((it.key().to_vec(), it.value().to_vec()));
+            }
+        }
+        inner.env.clock().advance(cpu);
+        Ok(())
+    }
+}
+
+impl ScanCursor for FileCursor {
+    fn key(&self) -> Option<&[u8]> {
+        self.entries.get(self.pos).map(|(k, _)| k.as_slice())
+    }
+    fn value(&self) -> Option<&[u8]> {
+        self.entries.get(self.pos).map(|(_, v)| v.as_slice())
+    }
+    fn advance(&mut self, inner: &DbInner) -> Result<()> {
+        self.pos += 1;
+        if self.pos >= self.entries.len() {
+            self.load_next_block(inner)?;
+        }
+        Ok(())
+    }
+}
+
+struct LevelCursor {
+    files: Vec<Arc<FileMetadata>>,
+    next_file: usize,
+    current: Option<FileCursor>,
+    target: Vec<u8>,
+}
+
+impl LevelCursor {
+    fn open(inner: &DbInner, files: Vec<Arc<FileMetadata>>, target: &[u8]) -> Result<LevelCursor> {
+        let mut c = LevelCursor {
+            files,
+            next_file: 0,
+            current: None,
+            target: target.to_vec(),
+        };
+        c.open_next(inner)?;
+        Ok(c)
+    }
+
+    fn open_next(&mut self, inner: &DbInner) -> Result<()> {
+        self.current = None;
+        while self.next_file < self.files.len() {
+            let file = Arc::clone(&self.files[self.next_file]);
+            self.next_file += 1;
+            let cursor = FileCursor::open(inner, file, &self.target)?;
+            if cursor.key().is_some() {
+                self.current = Some(cursor);
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ScanCursor for LevelCursor {
+    fn key(&self) -> Option<&[u8]> {
+        self.current.as_ref().and_then(|c| c.key())
+    }
+    fn value(&self) -> Option<&[u8]> {
+        self.current.as_ref().and_then(|c| c.value())
+    }
+    fn advance(&mut self, inner: &DbInner) -> Result<()> {
+        if let Some(c) = &mut self.current {
+            c.advance(inner)?;
+            if c.key().is_none() {
+                self.open_next(inner)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_sim::DeviceModel;
+
+    fn env() -> HardwareEnv {
+        HardwareEnv::builder()
+            .cores(4)
+            .memory_gib(8)
+            .device(DeviceModel::nvme_ssd())
+            .build_sim()
+    }
+
+    fn small_opts() -> Options {
+        let mut o = Options::default();
+        o.write_buffer_size = 64 << 10; // tiny, to exercise flush/compaction
+        o.target_file_size_base = 64 << 10;
+        o.max_bytes_for_level_base = 256 << 10;
+        o
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let env = env();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        db.put(b"hello", b"world").unwrap();
+        assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+        assert_eq!(db.get(b"absent").unwrap(), None);
+    }
+
+    #[test]
+    fn delete_hides_value() {
+        let env = env();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_newest() {
+        let env = env();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn reads_span_memtable_flush_and_compaction() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let n = 3_000;
+        for i in 0..n {
+            db.put(format!("key-{i:06}").as_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        let stats = db.stats();
+        assert!(stats.tickers.get(Ticker::FlushJobs) > 0, "flushes ran");
+        assert!(stats.tickers.get(Ticker::CompactionJobs) > 0, "compactions ran");
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                db.get(format!("key-{i:06}").as_bytes()).unwrap(),
+                Some(format!("value-{i}").into_bytes()),
+                "key-{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_returns_sorted_live_entries() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        for i in 0..500 {
+            db.put(format!("key-{i:04}").as_bytes(), b"v").unwrap();
+        }
+        db.delete(b"key-0002").unwrap();
+        db.flush().unwrap();
+        // A few more into the memtable so the scan merges sources.
+        db.put(b"key-0001", b"updated").unwrap();
+        let result = db.scan(b"key-0000", 5).unwrap();
+        let keys: Vec<_> = result.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["key-0000", "key-0001", "key-0003", "key-0004", "key-0005"]);
+        let v1 = &result[1].1;
+        assert_eq!(v1, b"updated");
+    }
+
+    #[test]
+    fn virtual_time_advances_with_work() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let t0 = env.clock().now();
+        for i in 0..2_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        let t1 = env.clock().now();
+        assert!(t1 > t0, "writes consume virtual time");
+        // Per-op average should be in the microseconds range.
+        let per_op = (t1 - t0).as_nanos() / 2_000;
+        assert!(per_op > 500 && per_op < 200_000, "per-op {per_op}ns");
+    }
+
+    #[test]
+    fn bloom_filters_cut_probes() {
+        let run = |bits: f64| {
+            let env = env();
+            let mut opts = small_opts();
+            opts.bloom_filter_bits_per_key = bits;
+            let db = Db::open_sim(opts, &env).unwrap();
+            for i in 0..2_000 {
+                db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..500 {
+                let _ = db.get(format!("key-{i:06}-absent").as_bytes()).unwrap();
+            }
+            db.stats()
+        };
+        let without = run(0.0);
+        let with = run(10.0);
+        assert!(with.tickers.get(Ticker::BloomChecked) > 0);
+        assert!(
+            with.tickers.get(Ticker::BlockCacheMiss) + with.tickers.get(Ticker::BlockCacheHit)
+                < without.tickers.get(Ticker::BlockCacheMiss)
+                    + without.tickers.get(Ticker::BlockCacheHit),
+            "bloom avoids block fetches"
+        );
+    }
+
+    #[test]
+    fn recovery_preserves_data() {
+        let env = env();
+        let vfs = Arc::new(MemVfs::new());
+        {
+            let db = Db::open(small_opts(), &env, vfs.clone()).unwrap();
+            for i in 0..1_000 {
+                db.put(format!("key-{i:04}").as_bytes(), format!("v-{i}").as_bytes())
+                    .unwrap();
+            }
+            db.wait_background_idle().unwrap();
+            // No clean shutdown: the Db is just dropped (simulated crash;
+            // the WAL tail was never fsynced but MemVfs keeps appended
+            // bytes, modeling a process crash rather than power loss).
+        }
+        let db = Db::open(small_opts(), &env, vfs).unwrap();
+        for i in (0..1_000).step_by(53) {
+            assert_eq!(
+                db.get(format!("key-{i:04}").as_bytes()).unwrap(),
+                Some(format!("v-{i}").into_bytes()),
+                "key-{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_drops_torn_wal_tail() {
+        let env = env();
+        let vfs = Arc::new(MemVfs::new());
+        {
+            let db = Db::open(Options::default(), &env, vfs.clone()).unwrap();
+            db.put(b"safe", b"1").unwrap();
+            db.put(b"torn", b"2").unwrap();
+        }
+        // Tear the last few bytes off the newest WAL.
+        let wals: Vec<String> = vfs
+            .list("")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".log"))
+            .collect();
+        let wal = wals.last().unwrap();
+        let len = vfs.file_size(wal).unwrap();
+        vfs.truncate(wal, (len - 3) as usize).unwrap();
+        let db = Db::open(Options::default(), &env, vfs).unwrap();
+        assert_eq!(db.get(b"safe").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"torn").unwrap(), None, "torn record dropped");
+    }
+
+    #[test]
+    fn stalls_appear_under_write_pressure() {
+        let env = env();
+        let mut opts = small_opts();
+        opts.level0_slowdown_writes_trigger = 2;
+        opts.level0_stop_writes_trigger = 4;
+        opts.max_background_jobs = 1;
+        let db = Db::open_sim(opts, &env).unwrap();
+        for i in 0..20_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        let stats = db.stats();
+        assert!(
+            stats.tickers.get(Ticker::WriteSlowdowns) + stats.tickers.get(Ticker::WriteStops) > 0,
+            "aggressive triggers cause throttling"
+        );
+        assert!(stats.tickers.get(Ticker::StallNanos) > 0);
+    }
+
+    #[test]
+    fn hdd_is_slower_than_nvme_for_same_work() {
+        let run = |model: DeviceModel| {
+            let env = HardwareEnv::builder().cores(2).memory_gib(4).device(model).build_sim();
+            let db = Db::open_sim(small_opts(), &env).unwrap();
+            for i in 0..3_000 {
+                db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..300 {
+                let _ = db.get(format!("key-{:06}", i * 7).as_bytes()).unwrap();
+            }
+            env.clock().now().as_nanos()
+        };
+        let nvme = run(DeviceModel::nvme_ssd());
+        let hdd = run(DeviceModel::sata_hdd());
+        assert!(hdd > nvme, "hdd {hdd} should exceed nvme {nvme}");
+    }
+
+    #[test]
+    fn disable_auto_compactions_holds_l0() {
+        let env = env();
+        let mut opts = small_opts();
+        opts.disable_auto_compactions = true;
+        let db = Db::open_sim(opts, &env).unwrap();
+        for i in 0..5_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 50]).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.tickers.get(Ticker::CompactionJobs), 0);
+        assert!(stats.levels[0].0 > 0);
+    }
+
+    #[test]
+    fn write_batch_is_atomic_in_order() {
+        let env = env();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.delete(b"a");
+        b.put(b"b", b"2");
+        db.write(b).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), None);
+        assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn stats_shape_is_reported() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        for i in 0..2_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.levels.len(), 7);
+        assert!(stats.levels.iter().map(|(n, _)| n).sum::<usize>() > 0);
+        assert!(stats.write_amplification() > 0.0);
+        assert!(stats.last_sequence >= 2_000);
+    }
+}
+
+#[cfg(test)]
+mod compact_range_tests {
+    use super::*;
+    use hw_sim::DeviceModel;
+
+    #[test]
+    fn compact_range_pushes_data_down() {
+        let env = HardwareEnv::builder()
+            .cores(4)
+            .memory_gib(8)
+            .device(DeviceModel::nvme_ssd())
+            .build_sim();
+        let mut opts = Options::default();
+        opts.write_buffer_size = 32 << 10;
+        opts.target_file_size_base = 32 << 10;
+        opts.max_bytes_for_level_base = 128 << 10;
+        opts.disable_auto_compactions = true; // everything stays in L0
+        let db = Db::open_sim(opts, &env).unwrap();
+        for i in 0..3_000 {
+            db.put(format!("key-{i:05}").as_bytes(), &[1u8; 50]).unwrap();
+        }
+        db.flush().unwrap();
+        let before = db.stats();
+        assert!(before.levels[0].0 > 1, "L0 has files: {:?}", before.levels);
+
+        db.compact_range(b"", b"key-99999").unwrap();
+        let after = db.stats();
+        assert_eq!(after.levels[0].0, 0, "L0 drained: {:?}", after.levels);
+        let deeper: usize = after.levels.iter().skip(1).map(|(n, _)| n).sum();
+        assert!(deeper > 0, "data moved down: {:?}", after.levels);
+        for i in (0..3_000).step_by(101) {
+            assert_eq!(
+                db.get(format!("key-{i:05}").as_bytes()).unwrap(),
+                Some(vec![1u8; 50])
+            );
+        }
+    }
+
+    #[test]
+    fn compact_range_with_no_overlap_is_noop() {
+        let env = HardwareEnv::builder().build_sim();
+        let db = Db::open_sim(Options::default(), &env).unwrap();
+        db.put(b"a", b"1").unwrap();
+        db.compact_range(b"x", b"z").unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+    }
+}

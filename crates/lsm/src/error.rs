@@ -1,0 +1,88 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors returned by storage-engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An I/O failure in the underlying virtual file system.
+    Io(String),
+    /// Stored data failed a checksum or structural validation.
+    Corruption(String),
+    /// The caller supplied an invalid argument or option value.
+    InvalidArgument(String),
+    /// The database is shutting down or already closed.
+    ShuttingDown,
+    /// An operation is not supported in the current configuration.
+    NotSupported(String),
+    /// The engine exhausted an internal resource (e.g. stall deadline).
+    Busy(String),
+}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for I/O errors.
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
+
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::ShuttingDown => write!(f, "database is shutting down"),
+            Error::NotSupported(m) => write!(f, "not supported: {m}"),
+            Error::Busy(m) => write!(f, "busy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::corruption("bad block checksum");
+        assert_eq!(e.to_string(), "corruption: bad block checksum");
+        let e = Error::invalid_argument("write_buffer_size must be positive");
+        assert!(e.to_string().starts_with("invalid argument"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

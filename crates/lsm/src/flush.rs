@@ -1,0 +1,161 @@
+//! Flush: merging immutable memtables into one L0 table file.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::memtable::MemTable;
+use crate::sstable::table::{FinishedTable, TableBuilder, TableConfig};
+use crate::types::{internal_key_cmp, FileNumber};
+use crate::vfs::Vfs;
+
+/// Name of an SST file on the VFS.
+pub fn sst_file_name(number: FileNumber) -> String {
+    format!("{number}.sst")
+}
+
+/// Merges `mems` (newest last) into a single L0 table.
+///
+/// Shadowed versions of a user key are dropped (the engine does not
+/// expose snapshots); tombstones are always kept because older versions
+/// may exist in deeper levels.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Io`] on write failure; the caller deletes the
+/// partial file.
+pub fn build_l0_table(
+    vfs: &dyn Vfs,
+    number: FileNumber,
+    mems: &[Arc<MemTable>],
+    config: TableConfig,
+) -> Result<FinishedTable> {
+    let file = vfs.create(&sst_file_name(number))?;
+    let mut builder = TableBuilder::new(file, config);
+
+    // K-way merge over the memtables' sorted iterators. Ties on user key
+    // are impossible at the internal-key level (sequence numbers are
+    // unique), and internal-key order puts the newest version first.
+    let mut iters: Vec<_> = mems.iter().map(|m| m.iter().peekable()).collect();
+    let mut last_user_key: Option<Vec<u8>> = None;
+    loop {
+        let mut best: Option<(usize, &[u8])> = None;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some((k, _)) = it.peek() {
+                match best {
+                    None => best = Some((i, k)),
+                    Some((_, bk)) if internal_key_cmp(k, bk) == Ordering::Less => {
+                        best = Some((i, k))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        let (key, value) = iters[idx].next().expect("peeked entry exists");
+        let user_key = &key[..key.len() - 8];
+        let shadowed = last_user_key.as_deref() == Some(user_key);
+        if !shadowed {
+            builder.add(key, value)?;
+            last_user_key = Some(user_key.to_vec());
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::block::Block;
+    use crate::sstable::table::TableReader;
+    use crate::types::{InternalKey, ValueType};
+    use crate::vfs::MemVfs;
+
+    fn read_all_entries(vfs: &MemVfs, number: FileNumber) -> Vec<(Vec<u8>, u64, ValueType, Vec<u8>)> {
+        let (reader, _) = TableReader::open(vfs.open(&sst_file_name(number)).unwrap()).unwrap();
+        let mut out = Vec::new();
+        for h in reader.block_handles().unwrap() {
+            let fetch = reader.read_block(h).unwrap();
+            let block = Block::parse(fetch.data).unwrap();
+            let mut it = block.iter();
+            while it.advance().unwrap() {
+                let ik = InternalKey::decode(it.key()).unwrap();
+                out.push((
+                    ik.user_key().to_vec(),
+                    ik.sequence(),
+                    ik.value_type(),
+                    it.value().to_vec(),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_memtable_flush() {
+        let vfs = MemVfs::new();
+        let mut mt = MemTable::new(0);
+        for i in 0..100 {
+            mt.add(i + 1, ValueType::Value, format!("k{i:03}").as_bytes(), b"v");
+        }
+        let fin = build_l0_table(&vfs, FileNumber(1), &[Arc::new(mt)], TableConfig::default()).unwrap();
+        assert_eq!(fin.properties.num_entries, 100);
+        let entries = read_all_entries(&vfs, FileNumber(1));
+        assert_eq!(entries.len(), 100);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn merge_multiple_memtables_newest_wins() {
+        let vfs = MemVfs::new();
+        let mut old = MemTable::new(0);
+        old.add(1, ValueType::Value, b"dup", b"old");
+        old.add(2, ValueType::Value, b"only-old", b"x");
+        let mut new = MemTable::new(0);
+        new.add(10, ValueType::Value, b"dup", b"new");
+        new.add(11, ValueType::Value, b"only-new", b"y");
+        let fin = build_l0_table(
+            &vfs,
+            FileNumber(2),
+            &[Arc::new(old), Arc::new(new)],
+            TableConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(fin.properties.num_entries, 3, "shadowed dup dropped");
+        let entries = read_all_entries(&vfs, FileNumber(2));
+        let dup = entries.iter().find(|e| e.0 == b"dup").unwrap();
+        assert_eq!(dup.3, b"new");
+        assert_eq!(dup.1, 10);
+    }
+
+    #[test]
+    fn tombstones_survive_flush() {
+        let vfs = MemVfs::new();
+        let mut mt = MemTable::new(0);
+        mt.add(1, ValueType::Value, b"k", b"v");
+        mt.add(2, ValueType::Deletion, b"k", b"");
+        let _ = build_l0_table(&vfs, FileNumber(3), &[Arc::new(mt)], TableConfig::default()).unwrap();
+        let entries = read_all_entries(&vfs, FileNumber(3));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].2, ValueType::Deletion);
+    }
+
+    #[test]
+    fn smallest_largest_span_all_inputs() {
+        let vfs = MemVfs::new();
+        let mut a = MemTable::new(0);
+        a.add(1, ValueType::Value, b"mmm", b"");
+        let mut b = MemTable::new(0);
+        b.add(2, ValueType::Value, b"aaa", b"");
+        b.add(3, ValueType::Value, b"zzz", b"");
+        let fin = build_l0_table(
+            &vfs,
+            FileNumber(4),
+            &[Arc::new(a), Arc::new(b)],
+            TableConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(fin.smallest.user_key(), b"aaa");
+        assert_eq!(fin.largest.user_key(), b"zzz");
+    }
+}

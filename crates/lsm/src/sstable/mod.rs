@@ -1,0 +1,7 @@
+//! Sorted string table (SST) building blocks: blocks, bloom filters,
+//! compression, and the table file format.
+
+pub mod block;
+pub mod bloom;
+pub mod compress;
+pub mod table;

@@ -1,0 +1,602 @@
+//! Virtual file system abstraction.
+//!
+//! The engine performs all persistence through [`Vfs`] so the same code
+//! runs against real files ([`StdVfs`]) or an in-memory store
+//! ([`MemVfs`]). Note that the VFS is *pure storage*: simulated I/O
+//! timing is charged separately by the engine's I/O timer, which knows
+//! whether an access is foreground or background — see `db.rs`.
+//!
+//! [`MemVfs`] supports fault injection for crash/recovery and error-path
+//! tests.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+/// A handle for appending to a new file.
+pub trait WritableFile: Send {
+    /// Appends bytes to the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on underlying write failure.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Durably persists everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on underlying sync failure.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Completes the file, making it visible to [`Vfs::open`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on underlying flush failure.
+    fn finish(&mut self) -> Result<()>;
+
+    /// Bytes appended so far.
+    fn len(&self) -> u64;
+
+    /// Whether nothing has been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A handle for positional reads of an immutable file.
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads up to `len` bytes at `offset`, short at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the read fails or the offset is past EOF.
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Total file length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// File system operations the engine needs.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates (or truncates) a file for writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if creation fails.
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>>;
+
+    /// Opens an existing file for random access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file does not exist.
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>>;
+
+    /// Reads a whole file (used for WAL/manifest recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file does not exist.
+    fn read_all(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Deletes a file; deleting a missing file is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file does not exist.
+    fn delete(&self, path: &str) -> Result<()>;
+
+    /// Atomically renames a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the source does not exist.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Whether a file exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Lists file names starting with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the directory cannot be read.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Size of a file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file does not exist.
+    fn file_size(&self, path: &str) -> Result<u64>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory VFS
+// ---------------------------------------------------------------------------
+
+/// Fault-injection knobs for [`MemVfs`].
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Fail every append after this many more bytes have been written
+    /// (simulates a full disk / torn write).
+    fail_appends_after_bytes: Option<u64>,
+    /// Fail every sync.
+    fail_syncs: bool,
+    /// Bytes appended since fault arming.
+    appended: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemVfsInner {
+    files: HashMap<String, Arc<Vec<u8>>>,
+    faults: FaultState,
+}
+
+/// An in-memory file system.
+///
+/// All file contents live in a shared map; "finished" files become
+/// immutable `Arc<Vec<u8>>` snapshots. Unfinished files are still
+/// readable via [`Vfs::read_all`] with their current contents, which is
+/// what crash-recovery of a WAL needs.
+#[derive(Debug, Default, Clone)]
+pub struct MemVfs {
+    inner: Arc<Mutex<MemVfsInner>>,
+}
+
+impl MemVfs {
+    /// Creates an empty in-memory file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a fault: appends fail after `bytes` more bytes are written.
+    pub fn fail_appends_after(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.faults.fail_appends_after_bytes = Some(bytes);
+        inner.faults.appended = 0;
+    }
+
+    /// Arms or clears sync failures.
+    pub fn set_fail_syncs(&self, fail: bool) {
+        self.inner.lock().faults.fail_syncs = fail;
+    }
+
+    /// Clears all armed faults.
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = FaultState::default();
+    }
+
+    /// Drops the tail of a file to `keep` bytes — simulates a crash that
+    /// tore the final records off a log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file does not exist.
+    pub fn truncate(&self, path: &str, keep: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let file = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| Error::io(format!("truncate: no such file {path}")))?;
+        let mut contents = file.as_ref().clone();
+        contents.truncate(keep);
+        *file = Arc::new(contents);
+        Ok(())
+    }
+
+    /// Total bytes stored across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().files.values().map(|f| f.len() as u64).sum()
+    }
+
+    /// Creates an independent copy-on-write fork of this file system.
+    ///
+    /// File contents are shared (`Arc`), so forking a preloaded store is
+    /// cheap; new writes in either fork create new entries and never
+    /// mutate shared contents. Tuning sessions use this to run every
+    /// iteration against an identical preloaded database.
+    pub fn fork(&self) -> MemVfs {
+        let inner = self.inner.lock();
+        MemVfs {
+            inner: Arc::new(Mutex::new(MemVfsInner {
+                files: inner.files.clone(),
+                faults: FaultState::default(),
+            })),
+        }
+    }
+}
+
+struct MemWritableFile {
+    vfs: MemVfs,
+    path: String,
+    buf: Vec<u8>,
+    finished: bool,
+}
+
+impl MemWritableFile {
+    fn publish(&self) {
+        let mut inner = self.vfs.inner.lock();
+        inner.files.insert(self.path.clone(), Arc::new(self.buf.clone()));
+    }
+}
+
+impl WritableFile for MemWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        {
+            let mut inner = self.vfs.inner.lock();
+            if let Some(limit) = inner.faults.fail_appends_after_bytes {
+                inner.faults.appended += data.len() as u64;
+                if inner.faults.appended > limit {
+                    return Err(Error::io("injected append failure (disk full)"));
+                }
+            }
+        }
+        self.buf.extend_from_slice(data);
+        // The shared view is refreshed on sync/finish/drop rather than on
+        // every append (publishing clones the buffer). A dropped-without-
+        // finish file still publishes, so crash simulations observe the
+        // unsynced tail a real OS would have kept in the page cache.
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.vfs.inner.lock().faults.fail_syncs {
+            return Err(Error::io("injected sync failure"));
+        }
+        self.publish();
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.finished = true;
+        self.publish();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+}
+
+impl Drop for MemWritableFile {
+    fn drop(&mut self) {
+        if !self.finished {
+            // An unfinished file still leaves its bytes behind, like a
+            // crashed process would.
+            self.publish();
+        }
+    }
+}
+
+struct MemRandomAccessFile {
+    contents: Arc<Vec<u8>>,
+}
+
+impl RandomAccessFile for MemRandomAccessFile {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let start = offset as usize;
+        if start > self.contents.len() {
+            return Err(Error::io(format!(
+                "read past eof: offset {offset} > len {}",
+                self.contents.len()
+            )));
+        }
+        let end = (start + len).min(self.contents.len());
+        Ok(self.contents[start..end].to_vec())
+    }
+
+    fn len(&self) -> u64 {
+        self.contents.len() as u64
+    }
+}
+
+impl Vfs for MemVfs {
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let mut inner = self.inner.lock();
+        inner.files.insert(path.to_string(), Arc::new(Vec::new()));
+        Ok(Box::new(MemWritableFile {
+            vfs: self.clone(),
+            path: path.to_string(),
+            buf: Vec::new(),
+            finished: false,
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let inner = self.inner.lock();
+        let contents = inner
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::io(format!("open: no such file {path}")))?;
+        Ok(Arc::new(MemRandomAccessFile { contents }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(path)
+            .map(|c| c.as_ref().clone())
+            .ok_or_else(|| Error::io(format!("read_all: no such file {path}")))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| Error::io(format!("delete: no such file {path}")))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let contents = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| Error::io(format!("rename: no such file {from}")))?;
+        inner.files.insert(to.to_string(), contents);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.lock().files.contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(path)
+            .map(|c| c.len() as u64)
+            .ok_or_else(|| Error::io(format!("file_size: no such file {path}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real file system VFS
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] over a directory of the real file system.
+#[derive(Debug, Clone)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// Creates a VFS rooted at `root`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(StdVfs { root })
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+}
+
+struct StdWritableFile {
+    file: std::io::BufWriter<std::fs::File>,
+    len: u64,
+}
+
+impl WritableFile for StdWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct StdRandomAccessFile {
+    file: Mutex<std::fs::File>,
+    len: u64,
+}
+
+impl RandomAccessFile for StdRandomAccessFile {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if offset > self.len {
+            return Err(Error::io(format!(
+                "read past eof: offset {offset} > len {}",
+                self.len
+            )));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut read = 0;
+        while read < len {
+            let n = file.read(&mut buf[read..])?;
+            if n == 0 {
+                break;
+            }
+            read += n;
+        }
+        buf.truncate(read);
+        Ok(buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let file = std::fs::File::create(self.full(path))?;
+        Ok(Box::new(StdWritableFile {
+            file: std::io::BufWriter::new(file),
+            len: 0,
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let file = std::fs::File::open(self.full(path))?;
+        let len = file.metadata()?.len();
+        Ok(Arc::new(StdRandomAccessFile {
+            file: Mutex::new(file),
+            len,
+        }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(std::fs::read(self.full(path))?)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        std::fs::remove_file(self.full(path))?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(self.full(from), self.full(to))?;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.full(path).exists()
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with(prefix) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        Ok(std::fs::metadata(self.full(path))?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(vfs: &dyn Vfs) {
+        let mut f = vfs.create("000001.sst").unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        assert_eq!(f.len(), 11);
+        f.sync().unwrap();
+        f.finish().unwrap();
+        drop(f);
+
+        assert!(vfs.exists("000001.sst"));
+        assert_eq!(vfs.file_size("000001.sst").unwrap(), 11);
+        let r = vfs.open("000001.sst").unwrap();
+        assert_eq!(r.read_at(6, 5).unwrap(), b"world");
+        assert_eq!(r.read_at(6, 100).unwrap(), b"world", "short read at eof");
+        assert!(r.read_at(100, 1).is_err(), "read past eof errors");
+        assert_eq!(vfs.read_all("000001.sst").unwrap(), b"hello world");
+
+        vfs.rename("000001.sst", "000002.sst").unwrap();
+        assert!(!vfs.exists("000001.sst"));
+        assert_eq!(vfs.list("0000").unwrap(), vec!["000002.sst".to_string()]);
+
+        vfs.delete("000002.sst").unwrap();
+        assert!(vfs.delete("000002.sst").is_err());
+    }
+
+    #[test]
+    fn mem_vfs_full_lifecycle() {
+        exercise(&MemVfs::new());
+    }
+
+    #[test]
+    fn std_vfs_full_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("lsmkvs-vfs-test-{}", std::process::id()));
+        let vfs = StdVfs::new(&dir).unwrap();
+        exercise(&vfs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_vfs_unfinished_files_keep_bytes() {
+        let vfs = MemVfs::new();
+        {
+            let mut f = vfs.create("wal.log").unwrap();
+            f.append(b"record-1").unwrap();
+            // dropped without finish(): simulates a crash
+        }
+        assert_eq!(vfs.read_all("wal.log").unwrap(), b"record-1");
+    }
+
+    #[test]
+    fn mem_vfs_fault_injection() {
+        let vfs = MemVfs::new();
+        vfs.fail_appends_after(4);
+        let mut f = vfs.create("f").unwrap();
+        assert!(f.append(b"1234").is_ok());
+        assert!(f.append(b"5").is_err());
+        vfs.clear_faults();
+        assert!(f.append(b"5").is_ok());
+
+        vfs.set_fail_syncs(true);
+        assert!(f.sync().is_err());
+    }
+
+    #[test]
+    fn mem_vfs_truncate_simulates_torn_writes() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create("log").unwrap();
+        f.append(b"0123456789").unwrap();
+        f.finish().unwrap();
+        vfs.truncate("log", 3).unwrap();
+        assert_eq!(vfs.read_all("log").unwrap(), b"012");
+    }
+}

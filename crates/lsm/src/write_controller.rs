@@ -1,0 +1,177 @@
+//! Write controller: slowdown and stall decisions.
+//!
+//! Mirrors RocksDB's write controller: L0 file count and pending
+//! compaction debt move the write path between three regimes — normal,
+//! *delayed* (writes trickle at `delayed_write_rate`), and *stopped*
+//! (writes block until background work catches up). These are the
+//! mechanics behind the paper's p99-latency improvements: tuning that
+//! avoids stalls directly removes the latency tail.
+
+use hw_sim::SimDuration;
+
+use crate::options::Options;
+
+/// The write-path regime chosen for one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteRegime {
+    /// No throttling.
+    Normal,
+    /// Throttled to `delayed_write_rate` bytes/sec.
+    Delayed,
+    /// Blocked until background work clears the trigger.
+    Stopped,
+}
+
+/// Inputs to the controller decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WritePressure {
+    /// Current L0 file count.
+    pub l0_files: usize,
+    /// Immutable memtables waiting to flush.
+    pub immutable_memtables: usize,
+    /// Active + immutable memtables.
+    pub total_memtables: usize,
+    /// Estimated bytes of pending compaction debt.
+    pub pending_compaction_bytes: u64,
+}
+
+/// Stateless policy evaluating [`WritePressure`] against [`Options`].
+#[derive(Debug, Clone)]
+pub struct WriteController {
+    l0_slowdown: usize,
+    l0_stop: usize,
+    max_memtables: usize,
+    soft_pending: u64,
+    hard_pending: u64,
+    delayed_write_rate: u64,
+}
+
+impl WriteController {
+    /// Builds a controller from the option set.
+    pub fn from_options(opts: &Options) -> Self {
+        WriteController {
+            l0_slowdown: opts.level0_slowdown_writes_trigger.max(1) as usize,
+            l0_stop: opts.level0_stop_writes_trigger.max(1) as usize,
+            max_memtables: opts.max_write_buffer_number.max(1) as usize,
+            soft_pending: opts.soft_pending_compaction_bytes_limit,
+            hard_pending: opts.hard_pending_compaction_bytes_limit,
+            delayed_write_rate: opts.delayed_write_rate.max(1024),
+        }
+    }
+
+    /// Chooses the regime for the next write.
+    pub fn regime(&self, p: &WritePressure) -> WriteRegime {
+        if p.l0_files >= self.l0_stop
+            || p.total_memtables > self.max_memtables
+            || (self.hard_pending > 0 && p.pending_compaction_bytes >= self.hard_pending)
+        {
+            return WriteRegime::Stopped;
+        }
+        if p.l0_files >= self.l0_slowdown
+            || (p.total_memtables == self.max_memtables && p.immutable_memtables > 0)
+            || (self.soft_pending > 0 && p.pending_compaction_bytes >= self.soft_pending)
+        {
+            return WriteRegime::Delayed;
+        }
+        WriteRegime::Normal
+    }
+
+    /// The artificial delay added to a write of `bytes` in the delayed
+    /// regime.
+    pub fn delay_for(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.delayed_write_rate as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> WriteController {
+        WriteController::from_options(&Options::default())
+    }
+
+    #[test]
+    fn default_pressure_is_normal() {
+        let c = controller();
+        assert_eq!(c.regime(&WritePressure::default()), WriteRegime::Normal);
+    }
+
+    #[test]
+    fn l0_triggers_escalate() {
+        let c = controller();
+        let mut p = WritePressure {
+            l0_files: 19,
+            total_memtables: 1,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Normal);
+        p.l0_files = 20; // default slowdown trigger
+        assert_eq!(c.regime(&p), WriteRegime::Delayed);
+        p.l0_files = 36; // default stop trigger
+        assert_eq!(c.regime(&p), WriteRegime::Stopped);
+    }
+
+    #[test]
+    fn memtable_backlog_stalls() {
+        let c = controller();
+        // Default max_write_buffer_number = 2: a full set with one
+        // immutable delays; exceeding the cap stops.
+        let p = WritePressure {
+            total_memtables: 2,
+            immutable_memtables: 1,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Delayed);
+        let p = WritePressure {
+            total_memtables: 3,
+            immutable_memtables: 2,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Stopped);
+    }
+
+    #[test]
+    fn pending_compaction_debt_throttles() {
+        let c = controller();
+        let p = WritePressure {
+            total_memtables: 1,
+            pending_compaction_bytes: 64 << 30, // default soft limit
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Delayed);
+        let p = WritePressure {
+            total_memtables: 1,
+            pending_compaction_bytes: 256 << 30, // default hard limit
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Stopped);
+    }
+
+    #[test]
+    fn delay_scales_with_rate() {
+        let mut opts = Options::default();
+        opts.delayed_write_rate = 1 << 20; // 1 MiB/s
+        let c = WriteController::from_options(&opts);
+        let d = c.delay_for(1 << 20);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+        // A higher configured rate shortens the delay.
+        opts.delayed_write_rate = 16 << 20;
+        let c = WriteController::from_options(&opts);
+        assert!(c.delay_for(1 << 20) < d);
+    }
+
+    #[test]
+    fn raised_triggers_remove_throttling() {
+        let mut opts = Options::default();
+        opts.level0_slowdown_writes_trigger = 40;
+        opts.level0_stop_writes_trigger = 60;
+        let c = WriteController::from_options(&opts);
+        let p = WritePressure {
+            l0_files: 25,
+            total_memtables: 1,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Normal);
+    }
+}

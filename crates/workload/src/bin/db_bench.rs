@@ -1,0 +1,108 @@
+//! `db_bench` — a CLI mirroring RocksDB's benchmarking tool, running
+//! against the simulated `lsm-kvs` engine.
+//!
+//! ```text
+//! db_bench --benchmarks fillrandom --num 1000000 --device nvme \
+//!          --cores 4 --mem-gib 4 [--option name=value]...
+//! ```
+
+use std::sync::Arc;
+
+use db_bench::{run_benchmark, BenchmarkSpec};
+use hw_sim::{DeviceModel, HardwareEnv};
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::MemVfs;
+use lsm_kvs::Db;
+
+fn main() {
+    if let Err(e) = run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        eprintln!("db_bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut benchmarks = vec!["fillrandom".to_string()];
+    let mut num: Option<u64> = None;
+    let mut device = DeviceModel::nvme_ssd();
+    let mut cores = 4usize;
+    let mut mem_gib = 8u64;
+    let mut scale = 0.01f64;
+    let mut opts = Options::default();
+    let mut options_file: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {}", args[*i - 1]).into())
+        };
+        match args[i].as_str() {
+            "--benchmarks" => benchmarks = take(&mut i)?.split(',').map(String::from).collect(),
+            "--num" => num = Some(take(&mut i)?.parse()?),
+            "--scale" => scale = take(&mut i)?.parse()?,
+            "--cores" => cores = take(&mut i)?.parse()?,
+            "--mem-gib" => mem_gib = take(&mut i)?.parse()?,
+            "--device" => {
+                device = match take(&mut i)?.as_str() {
+                    "nvme" | "nvme_ssd" => DeviceModel::nvme_ssd(),
+                    "sata_ssd" | "ssd" => DeviceModel::sata_ssd(),
+                    "hdd" | "sata_hdd" => DeviceModel::sata_hdd(),
+                    other => return Err(format!("unknown device: {other}").into()),
+                }
+            }
+            "--option" => {
+                let kv = take(&mut i)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--option wants name=value, got {kv}"))?;
+                opts.set_by_name(k, v)?;
+            }
+            "--options-file" => options_file = Some(take(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
+                     [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+        i += 1;
+    }
+    if let Some(path) = options_file {
+        let text = std::fs::read_to_string(path)?;
+        let outcome = lsm_kvs::options::ini::apply_ini(&mut opts, &text);
+        for (k, v, why) in &outcome.rejected {
+            eprintln!("options-file: ignored {k}={v}: {why}");
+        }
+    }
+
+    for name in &benchmarks {
+        let mut spec = match name.as_str() {
+            "fillrandom" => BenchmarkSpec::fillrandom(scale),
+            "readrandom" => BenchmarkSpec::readrandom(scale),
+            "readrandomwriterandom" => BenchmarkSpec::readrandomwriterandom(scale),
+            "mixgraph" => BenchmarkSpec::mixgraph(scale),
+            other => return Err(format!("unknown benchmark: {other}").into()),
+        };
+        if let Some(n) = num {
+            let ratio = n as f64 / spec.num_ops as f64;
+            spec.num_ops = n;
+            spec.key_space = ((spec.key_space as f64 * ratio) as u64).max(1_000);
+            if spec.preload_keys > 0 {
+                spec.preload_keys = ((spec.preload_keys as f64 * ratio) as u64).max(1_000);
+            }
+        }
+        let env = HardwareEnv::builder()
+            .cores(cores)
+            .memory_gib(mem_gib)
+            .device(device.clone())
+            .build_sim();
+        let db = Db::open(opts.clone(), &env, Arc::new(MemVfs::new()))?;
+        eprintln!("running {name} on {} ...", env.description());
+        let report = run_benchmark(&db, &env, &spec, None)?;
+        println!("{}", report.to_db_bench_text());
+    }
+    Ok(())
+}

@@ -1,0 +1,389 @@
+//! The benchmark runner: drives a [`lsm_kvs::Db`] through a
+//! [`BenchmarkSpec`] on virtual client threads.
+//!
+//! Client "threads" are virtual timelines: the runner always advances the
+//! thread with the smallest clock, positions the shared simulation clock
+//! there, issues one operation (which advances the clock by its cost),
+//! and records the delta as that operation's latency. This makes
+//! multi-threaded runs deterministic and seed-reproducible.
+
+use hw_sim::{HardwareEnv, SimDuration, SimTime, UtilizationSample};
+use lsm_kvs::{Db, Histogram, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keygen::{render_key, KeyDistribution, KeyGenerator, ValueGenerator};
+use crate::report::{BenchReport, MonitorControl, MonitorSample};
+use crate::spec::{BenchmarkSpec, WorkloadKind};
+
+/// Runs `spec` against `db`, optionally reporting progress to `monitor`.
+///
+/// The monitor is invoked every `spec.report_interval_ms` of simulated
+/// time; returning [`MonitorControl::Stop`] aborts the run (the paper's
+/// "constant benchmark monitor for early stop").
+///
+/// # Errors
+///
+/// Propagates engine errors (I/O, corruption, stall timeouts).
+pub fn run_benchmark(
+    db: &Db,
+    env: &HardwareEnv,
+    spec: &BenchmarkSpec,
+    mut monitor: Option<&mut dyn FnMut(&MonitorSample) -> MonitorControl>,
+) -> Result<BenchReport> {
+    // ------------------------------------------------------------------
+    // Preload phase (not measured).
+    // ------------------------------------------------------------------
+    if spec.preload_keys > 0 {
+        preload(db, spec)?;
+    }
+
+    // ------------------------------------------------------------------
+    // Measured phase.
+    // ------------------------------------------------------------------
+    let tickers_before = db.stats().tickers;
+    let start = env.clock().now();
+
+    let mut threads: Vec<ThreadState> = (0..spec.num_threads.max(1))
+        .map(|t| ThreadState::new(spec, t as u64, start))
+        .collect();
+
+    let mut write_hist = Histogram::new();
+    let mut read_hist = Histogram::new();
+    let mut samples = Vec::new();
+    let mut aborted = false;
+
+    let interval = SimDuration::from_millis(spec.report_interval_ms.max(1));
+    let mut next_sample = start + interval;
+    let mut ops_at_last_sample = 0u64;
+    let mut total_ops = 0u64;
+    let mut found = 0u64;
+
+    while total_ops < spec.num_ops {
+        // Pick the thread with the smallest virtual time.
+        let idx = threads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.time)
+            .map(|(i, _)| i)
+            .expect("at least one thread");
+        let thread_time = threads[idx].time;
+
+        // Monitor sampling happens on the global (min) timeline.
+        if thread_time >= next_sample {
+            let interval_ops = total_ops - ops_at_last_sample;
+            ops_at_last_sample = total_ops;
+            let util = UtilizationSample::capture(env, thread_time, interval_ops);
+            let sample = MonitorSample {
+                at_secs: thread_time.saturating_since(start).as_secs_f64(),
+                interval_ops,
+                interval_ops_per_sec: interval_ops as f64 / interval.as_secs_f64(),
+                cpu_util_percent: util.cpu_util_percent,
+                mem_pressure: util.mem_pressure,
+            };
+            samples.push(sample);
+            next_sample = next_sample + interval;
+            if let Some(cb) = monitor.as_deref_mut() {
+                if cb(&sample) == MonitorControl::Stop {
+                    aborted = true;
+                    break;
+                }
+            }
+            continue;
+        }
+
+        env.clock().set(thread_time);
+        let op = threads[idx].next_op(spec);
+        let before = env.clock().now();
+        match op {
+            Op::Put(key, value) => {
+                db.put(&key, &value)?;
+                let latency = env.clock().now() - before;
+                write_hist.record(latency);
+            }
+            Op::Get(key) => {
+                if db.get(&key)?.is_some() {
+                    found += 1;
+                }
+                let latency = env.clock().now() - before;
+                read_hist.record(latency);
+            }
+        }
+        let mut after = env.clock().now();
+        // Mixgraph QPS pacing: space requests along a sine wave.
+        if let Some(gap) = threads[idx].pacing_gap(spec, after.saturating_since(start)) {
+            let op_latency = after - before;
+            if gap > op_latency {
+                after = after + gap.saturating_sub(op_latency);
+            }
+        }
+        threads[idx].time = after;
+        total_ops += 1;
+    }
+
+    // Settle the clock at the max thread time for the duration figure.
+    let end = threads.iter().map(|t| t.time).max().unwrap_or(start);
+    env.clock().advance_to(end);
+    let duration = end.saturating_since(start);
+
+    let stats = db.stats();
+    let tickers = stats.tickers.delta_since(&tickers_before);
+    let ops_per_sec = total_ops as f64 / duration.as_secs_f64().max(1e-9);
+    Ok(BenchReport {
+        workload: spec.workload.name().to_string(),
+        short_name: spec.workload.short_name().to_string(),
+        ops: total_ops,
+        found,
+        duration,
+        ops_per_sec,
+        micros_per_op: duration.as_micros_f64() / total_ops.max(1) as f64,
+        write_latency: (write_hist.count() > 0).then(|| write_hist.snapshot()),
+        read_latency: (read_hist.count() > 0).then(|| read_hist.snapshot()),
+        tickers,
+        levels: stats.levels,
+        samples,
+        aborted,
+    })
+}
+
+/// Fills the database with `spec.preload_keys` keys in pseudo-random
+/// order, then waits for background work so the measured phase starts
+/// from a settled tree.
+fn preload(db: &Db, spec: &BenchmarkSpec) -> Result<()> {
+    let n = spec.preload_keys;
+    let mut value_gen = ValueGenerator::fixed(spec.seed, spec.value_size, spec.value_entropy);
+    // Walk the whole key space in scattered order via `i * mult mod n`,
+    // which is a bijection when gcd(mult, n) == 1.
+    let mut mult = (0x5851_f42d_4c95_7f2d_u64 % n).max(1);
+    while gcd(mult, n) != 1 {
+        mult += 1;
+    }
+    for i in 0..n {
+        let idx = ((i as u128 * mult as u128) % n as u128) as u64;
+        let key = render_key(idx, spec.key_size);
+        db.put(&key, &value_gen.next_value())?;
+    }
+    db.flush()?;
+    db.wait_background_idle()?;
+    Ok(())
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Get(Vec<u8>),
+}
+
+struct ThreadState {
+    time: SimTime,
+    keygen: KeyGenerator,
+    valuegen: ValueGenerator,
+    rng: StdRng,
+}
+
+impl ThreadState {
+    fn new(spec: &BenchmarkSpec, thread: u64, start: SimTime) -> ThreadState {
+        let seed = spec.seed.wrapping_add(thread.wrapping_mul(0x9e3779b97f4a7c15));
+        let distribution = match &spec.workload {
+            WorkloadKind::Mixgraph(cfg) => KeyDistribution::PowerLaw { alpha: cfg.key_alpha },
+            _ => KeyDistribution::Uniform,
+        };
+        let valuegen = match &spec.workload {
+            WorkloadKind::Mixgraph(cfg) => ValueGenerator::pareto(
+                seed,
+                spec.value_size,
+                cfg.value_pareto_shape,
+                cfg.value_min,
+            ),
+            _ => ValueGenerator::fixed(seed, spec.value_size, spec.value_entropy),
+        };
+        ThreadState {
+            time: start,
+            keygen: KeyGenerator::new(seed, spec.key_space.max(1), spec.key_size, distribution),
+            valuegen,
+            rng: StdRng::seed_from_u64(seed ^ 0xabcdef),
+        }
+    }
+
+    fn next_op(&mut self, spec: &BenchmarkSpec) -> Op {
+        match &spec.workload {
+            WorkloadKind::FillRandom => Op::Put(self.keygen.next_key(), self.valuegen.next_value()),
+            WorkloadKind::ReadRandom => Op::Get(self.keygen.next_key()),
+            WorkloadKind::ReadRandomWriteRandom => {
+                if self.rng.gen_range(0..100) < spec.read_percent {
+                    Op::Get(self.keygen.next_key())
+                } else {
+                    Op::Put(self.keygen.next_key(), self.valuegen.next_value())
+                }
+            }
+            WorkloadKind::Mixgraph(cfg) => {
+                if self.rng.gen_range(0.0f64..1.0) < cfg.read_fraction {
+                    Op::Get(self.keygen.next_key())
+                } else {
+                    Op::Put(self.keygen.next_key(), self.valuegen.next_value())
+                }
+            }
+        }
+    }
+
+    /// Sine-modulated pacing for mixgraph: the desired inter-arrival gap
+    /// at elapsed time `t`, or `None` for unpaced workloads.
+    fn pacing_gap(&mut self, spec: &BenchmarkSpec, elapsed: SimDuration) -> Option<SimDuration> {
+        let WorkloadKind::Mixgraph(cfg) = &spec.workload else {
+            return None;
+        };
+        if cfg.qps_sine_amplitude <= 0.0 {
+            return None;
+        }
+        // Base QPS chosen so pacing modulates rather than throttles: an
+        // op that is faster than the trough gap gets delayed, slower ops
+        // run free.
+        let base_gap_us = 8.0; // ~125k ops/sec mean target per thread
+        let phase = 2.0 * std::f64::consts::PI * elapsed.as_secs_f64()
+            / cfg.qps_sine_period_secs.max(1e-3);
+        let factor = 1.0 + cfg.qps_sine_amplitude * phase.sin();
+        Some(SimDuration::from_secs_f64(base_gap_us * 1e-6 / factor.max(0.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_sim::DeviceModel;
+    use lsm_kvs::options::Options;
+
+    fn env() -> HardwareEnv {
+        HardwareEnv::builder()
+            .cores(4)
+            .memory_gib(8)
+            .device(DeviceModel::nvme_ssd())
+            .build_sim()
+    }
+
+    fn small_opts() -> Options {
+        let mut o = Options::default();
+        o.write_buffer_size = 256 << 10;
+        o.target_file_size_base = 256 << 10;
+        o.max_bytes_for_level_base = 1 << 20;
+        o
+    }
+
+    fn tiny(mut spec: BenchmarkSpec, ops: u64) -> BenchmarkSpec {
+        spec.num_ops = ops;
+        spec.key_space = spec.key_space.min(ops.max(1000));
+        if spec.preload_keys > 0 {
+            spec.preload_keys = ops;
+            spec.key_space = ops;
+        }
+        spec
+    }
+
+    #[test]
+    fn fillrandom_produces_write_report() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let spec = tiny(BenchmarkSpec::fillrandom(1.0), 5_000);
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        assert_eq!(report.ops, 5_000);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.write_latency.is_some());
+        assert!(report.read_latency.is_none());
+        assert!(!report.aborted);
+        let text = report.to_db_bench_text();
+        assert!(text.contains("fillrandom"));
+    }
+
+    #[test]
+    fn readrandom_preloads_and_finds_keys() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let spec = tiny(BenchmarkSpec::readrandom(1.0), 2_000);
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        assert_eq!(report.ops, 2_000);
+        assert!(report.read_latency.is_some());
+        // All reads target the preloaded space, so all should be found.
+        assert_eq!(report.found, 2_000);
+    }
+
+    #[test]
+    fn rrwr_mixes_reads_and_writes_on_two_threads() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let spec = tiny(BenchmarkSpec::readrandomwriterandom(1.0), 4_000);
+        assert_eq!(spec.num_threads, 2);
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        let reads = report.read_latency.unwrap().count;
+        let writes = report.write_latency.unwrap().count;
+        assert_eq!(reads + writes, 4_000);
+        // ~90% reads by default.
+        assert!(reads > writes * 4, "reads {reads} writes {writes}");
+    }
+
+    #[test]
+    fn mixgraph_runs_with_skew_and_pacing() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let spec = tiny(BenchmarkSpec::mixgraph(1.0), 4_000);
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        let reads = report.read_latency.unwrap().count;
+        let writes = report.write_latency.unwrap().count;
+        assert!(reads > 1_000 && writes > 1_000, "both sides present");
+    }
+
+    #[test]
+    fn monitor_receives_samples_and_can_abort() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let mut spec = tiny(BenchmarkSpec::fillrandom(1.0), 200_000);
+        spec.report_interval_ms = 10;
+        let mut calls = 0;
+        let mut cb = |_s: &MonitorSample| {
+            calls += 1;
+            if calls >= 3 {
+                MonitorControl::Stop
+            } else {
+                MonitorControl::Continue
+            }
+        };
+        let report = run_benchmark(&db, &env, &spec, Some(&mut cb)).unwrap();
+        assert!(report.aborted);
+        assert!(report.ops < 200_000);
+        assert!(report.samples.len() >= 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let env = env();
+            let db = Db::open_sim(small_opts(), &env).unwrap();
+            let spec = tiny(BenchmarkSpec::mixgraph(1.0), 3_000);
+            let r = run_benchmark(&db, &env, &spec, None).unwrap();
+            (r.ops_per_sec, r.found, r.duration)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same hardware => identical results");
+    }
+
+    #[test]
+    fn two_threads_interleave_in_time_order() {
+        let env = env();
+        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let mut spec = tiny(BenchmarkSpec::readrandomwriterandom(1.0), 2_000);
+        spec.num_threads = 4;
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        assert_eq!(report.ops, 2_000);
+        // Wall duration should be well below the sum of per-op times
+        // (threads overlap).
+        let serial_estimate = report.micros_per_op * 2_000.0;
+        assert!(report.duration.as_micros_f64() <= serial_estimate + 1.0);
+    }
+}

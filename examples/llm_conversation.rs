@@ -1,0 +1,82 @@
+//! A look inside the loop: prompt, LLM response, evaluation, safeguards.
+//!
+//! Prints one full exchange between the framework and the simulated
+//! GPT-4 expert — including what happens when the model hallucinates
+//! options or suggests disabling the WAL — without running benchmarks.
+//!
+//! ```text
+//! cargo run --release --example llm_conversation
+//! ```
+
+use elmo::elmo_tune::{
+    build_tuning_prompt, evaluate_response, vet, ParsedBench, PromptContext, SafeguardPolicy,
+};
+use elmo::hw_sim::{DeviceModel, HardwareEnv};
+use elmo::llm_client::{ChatRequest, ExpertModel, LanguageModel, QuirkConfig};
+use elmo::lsm_kvs::options::{ini, Options};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = HardwareEnv::builder()
+        .cores(2)
+        .memory_gib(4)
+        .device(DeviceModel::sata_hdd())
+        .build_sim();
+    let options = Options::default();
+    let options_ini = ini::to_ini(&options);
+
+    let last = ParsedBench {
+        workload: "fillrandom".into(),
+        ops_per_sec: 61_234.0,
+        micros_per_op: 16.33,
+        ops: 500_000,
+        p99_write_us: Some(140.5),
+        stall_seconds: Some(4.2),
+        ..ParsedBench::default()
+    };
+
+    // Iteration 2 with the quirky expert: it will, among sensible advice,
+    // suggest disabling the WAL — which the safeguards must catch.
+    let ctx = PromptContext {
+        env: &env,
+        workload: "write-intensive: insert 50M key-value pairs in random key order",
+        options_ini: &options_ini,
+        iteration: 2,
+        last_result: Some(&last),
+        best_throughput: Some(61_234.0),
+        deteriorated: false,
+        violation_feedback: &[],
+        max_changes: 10,
+    };
+    let prompt = build_tuning_prompt(&ctx, 16_000);
+    println!("================= PROMPT ({} chars) =================", prompt.len());
+    println!("{prompt}");
+
+    let mut model = ExpertModel::new(42, QuirkConfig::heavy());
+    let response = model.complete(&ChatRequest::single_turn("gpt-4", &prompt))?;
+    println!("================= RESPONSE ({}) =================", response.model);
+    println!("{}", response.content);
+
+    let evaluation = evaluate_response(&response.content);
+    println!("================= OPTION EVALUATOR =================");
+    println!(
+        "{} code block(s); {} proposed change(s):",
+        evaluation.code_blocks,
+        evaluation.changes.len()
+    );
+    for c in &evaluation.changes {
+        println!("  {} = {}  [{:?}]", c.name, c.value, c.origin);
+    }
+
+    let policy = SafeguardPolicy::with_memory_budget(4 << 30);
+    let outcome = vet(&options, &evaluation.changes, &policy);
+    println!("================= SAFEGUARD ENFORCER =================");
+    println!("accepted ({}):", outcome.applied.len());
+    for a in &outcome.applied {
+        println!("  {}: {} -> {}", a.name, a.from, a.to);
+    }
+    println!("rejected/adjusted ({}):", outcome.violations.len());
+    for v in &outcome.violations {
+        println!("  {}", v.to_feedback_line());
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: open a store, read and write, then let the LLM tune it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use elmo::db_bench::BenchmarkSpec;
+use elmo::elmo_tune::{EnvSpec, TuningConfig, TuningSession};
+use elmo::hw_sim::{DeviceModel, HardwareEnv};
+use elmo::llm_client::ExpertModel;
+use elmo::lsm_kvs::{options::Options, Db};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // 1. The store as a library: a simulated 4-core/8-GiB NVMe box.
+    // ---------------------------------------------------------------
+    let env = HardwareEnv::builder()
+        .cores(4)
+        .memory_gib(8)
+        .device(DeviceModel::nvme_ssd())
+        .build_sim();
+    let db = Db::open_sim(Options::default(), &env)?;
+
+    db.put(b"user:1001", b"alice")?;
+    db.put(b"user:1002", b"bob")?;
+    db.put(b"user:1003", b"carol")?;
+    db.delete(b"user:1002")?;
+
+    println!("get user:1001 -> {:?}", String::from_utf8(db.get(b"user:1001")?.unwrap())?);
+    println!("get user:1002 -> {:?} (deleted)", db.get(b"user:1002")?);
+
+    let scan = db.scan(b"user:", 10)?;
+    println!("scan from 'user:' found {} live keys", scan.len());
+    for (k, v) in &scan {
+        println!("  {} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+    }
+
+    let stats = db.stats();
+    println!(
+        "\nengine stats: {} keys written, memtable {} bytes, virtual time {}",
+        stats.last_sequence,
+        stats.memtable_bytes,
+        env.clock().now(),
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Tuning: two iterations of the ELMo-Tune loop with the
+    //    simulated GPT-4 expert, on a small write-heavy workload.
+    // ---------------------------------------------------------------
+    let mut model = ExpertModel::well_behaved(42);
+    let mut spec = BenchmarkSpec::fillrandom(1.0);
+    spec.num_ops = 100_000; // keep the example quick
+    spec.key_space = 100_000;
+
+    let env_spec = EnvSpec {
+        cores: 4,
+        mem_gib: 8,
+        device: DeviceModel::nvme_ssd(),
+    };
+    let report = TuningSession::new(env_spec, spec, &mut model)
+        .with_config(TuningConfig {
+            iterations: 2,
+            ..TuningConfig::default()
+        })
+        .run(Options::default())?;
+
+    println!("\n--- tuning session ({}) ---", report.environment);
+    println!("{}", report.iteration_series_text());
+    println!(
+        "default {:.0} ops/s -> tuned {:.0} ops/s ({:.2}x)",
+        report.baseline.ops_per_sec,
+        report.best.ops_per_sec,
+        report.throughput_improvement()
+    );
+    Ok(())
+}

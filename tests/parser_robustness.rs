@@ -1,0 +1,110 @@
+//! Robustness tests: the evaluator + safeguards must absorb anything the
+//! (simulated) LLM emits without panicking or producing invalid configs.
+
+use elmo::elmo_tune::{evaluate_response, vet, SafeguardPolicy};
+use elmo::llm_client::{ChatRequest, ExpertModel, LanguageModel, QuirkConfig};
+use elmo::lsm_kvs::options::Options;
+
+fn prompt(iteration: u64, workload: &str, device: &str, cores: u64, mem: u64) -> String {
+    format!(
+        "CPU: {cores} logical cores\nMemory: {mem}.00 GiB total\nStorage: {device}\n\
+         Workload: {workload}\nThis is iteration {iteration}.\n\
+         [DBOptions]\n  max_background_jobs=2\n[CFOptions \"default\"]\n  write_buffer_size=67108864\n\
+         Change at most 10 options."
+    )
+}
+
+#[test]
+fn every_expert_output_across_the_grid_is_handled() {
+    let policy = SafeguardPolicy::with_memory_budget(4 << 30);
+    let base = Options::default();
+    let mut responses = 0;
+    let mut applied_total = 0;
+    for seed in [1u64, 7, 42] {
+        for quirks in [QuirkConfig::none(), QuirkConfig::default(), QuirkConfig::heavy()] {
+            for workload in ["write-intensive fillrandom", "read-intensive point reads", "mixgraph production"] {
+                for device in ["SATA HDD (rotational: yes)", "NVMe SSD"] {
+                    for iteration in 1..=8 {
+                        let mut model = ExpertModel::new(seed, quirks.clone());
+                        let p = prompt(iteration, workload, device, 2, 4);
+                        let reply = model
+                            .complete(&ChatRequest::single_turn("gpt-4", &p))
+                            .expect("expert always answers");
+                        let eval = evaluate_response(&reply.content);
+                        assert!(!eval.unparseable, "expert output must parse: {}", reply.content);
+                        let outcome = vet(&base, &eval.changes, &policy);
+                        outcome
+                            .options
+                            .validate()
+                            .expect("vetted configuration always validates");
+                        assert!(!outcome.options.disable_wal);
+                        responses += 1;
+                        applied_total += outcome.applied.len();
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(responses, 3 * 3 * 3 * 2 * 8);
+    assert!(applied_total > responses, "on average more than one change applies");
+}
+
+#[test]
+fn adversarial_response_soup_never_panics() {
+    let policy = SafeguardPolicy::default();
+    let base = Options::default();
+    let nasty = [
+        "",
+        "```",
+        "``` ```",
+        "```\n```",
+        "~~~ini\nwrite_buffer_size=",
+        "=====",
+        "write_buffer_size==64MB",
+        "```\n= = =\n[weird\nwrite_buffer_size=64MB extra words here\n```",
+        "set  to 4",
+        "set write_buffer_size to",
+        "πρόβλημα=δεν υπάρχει",
+        "🚀🚀🚀 set block_cache_size to 🚀",
+        "```ini\n\u{0}binary\u{1}=\u{2}\n```",
+        "A very long line ".repeat(10_000).as_str(),
+        "```ini\nmax_background_jobs=4\n", // unterminated fence
+    ]
+    .map(String::from);
+    for text in &nasty {
+        let eval = evaluate_response(text);
+        let outcome = vet(&base, &eval.changes, &policy);
+        outcome.options.validate().expect("never leaves options invalid");
+    }
+    // The unterminated fence still yields its content.
+    let eval = evaluate_response("```ini\nmax_background_jobs=4\n");
+    assert_eq!(eval.changes.len(), 1);
+}
+
+#[test]
+fn prose_only_responses_still_apply() {
+    let base = Options::default();
+    let policy = SafeguardPolicy::default();
+    let text = "I looked at your workload. First, set write_buffer_size to 128MB. \
+                Then I would raise max_background_jobs to 6 and lower \
+                level0_slowdown_writes_trigger to 12.";
+    let eval = evaluate_response(text);
+    assert_eq!(eval.changes.len(), 3, "{:?}", eval.changes);
+    let outcome = vet(&base, &eval.changes, &policy);
+    assert_eq!(outcome.options.write_buffer_size, 128 << 20);
+    assert_eq!(outcome.options.max_background_jobs, 6);
+    assert_eq!(outcome.options.level0_slowdown_writes_trigger, 12);
+}
+
+#[test]
+fn vet_is_stable_under_repeated_application() {
+    // Applying the same response twice must be a fixpoint (idempotent).
+    let policy = SafeguardPolicy::default();
+    let base = Options::default();
+    let text = "```ini\nwrite_buffer_size=32MB\nbloom_filter_bits_per_key=10\n```";
+    let eval = evaluate_response(text);
+    let once = vet(&base, &eval.changes, &policy);
+    let twice = vet(&once.options, &eval.changes, &policy);
+    assert_eq!(once.options, twice.options);
+    assert!(twice.applied.is_empty(), "second application changes nothing");
+}
