@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, lints, and the real-concurrency stress
+# tests under a timeout (they involve real threads and real files, so a
+# deadlock would otherwise hang the pipeline).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> concurrency stress tests (120s timeout)"
+timeout 120 cargo test -q -p lsm-kvs --test concurrency
+
+echo "CI OK"

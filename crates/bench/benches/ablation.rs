@@ -72,7 +72,7 @@ fn bench_change_cap(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/max_changes");
     g.sample_size(10);
     for cap in [3usize, 10, 100] {
-        g.bench_function(format!("cap_{cap}"), |b| {
+        g.bench_function(&format!("cap_{cap}"), |b| {
             b.iter(|| {
                 let mut model = ExpertModel::new(5, QuirkConfig::default());
                 let report =
@@ -98,7 +98,7 @@ fn bench_prompt_budget(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/prompt_budget");
     g.sample_size(10);
     for budget in [1_200usize, 16_000] {
-        g.bench_function(format!("chars_{budget}"), |b| {
+        g.bench_function(&format!("chars_{budget}"), |b| {
             b.iter(|| {
                 let mut model = ExpertModel::new(5, QuirkConfig::default());
                 let report =
@@ -135,9 +135,11 @@ fn bench_bloom_cache_split(c: &mut Criterion) {
             .memory_gib(4)
             .device(DeviceModel::nvme_ssd())
             .build_sim();
-        let mut opts = Options::default();
-        opts.bloom_filter_bits_per_key = bloom;
-        opts.block_cache_size = cache_mb << 20;
+        let opts = Options {
+            bloom_filter_bits_per_key: bloom,
+            block_cache_size: cache_mb << 20,
+            ..Options::default()
+        };
         let db = Db::open_sim(opts, &env).unwrap();
         run_benchmark(&db, &env, &spec, None).unwrap().ops_per_sec
     };

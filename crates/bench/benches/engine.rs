@@ -34,11 +34,13 @@ fn bench_get(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/get");
     g.throughput(Throughput::Elements(1));
     let env = env();
-    let mut opts = Options::default();
-    opts.write_buffer_size = 1 << 20;
-    opts.target_file_size_base = 1 << 20;
-    opts.max_bytes_for_level_base = 4 << 20;
-    opts.bloom_filter_bits_per_key = 10.0;
+    let opts = Options {
+        write_buffer_size: 1 << 20,
+        target_file_size_base: 1 << 20,
+        max_bytes_for_level_base: 4 << 20,
+        bloom_filter_bits_per_key: 10.0,
+        ..Options::default()
+    };
     let db = Db::open_sim(opts, &env).unwrap();
     for i in 0..50_000u64 {
         db.put(format!("key-{i:012}").as_bytes(), &[7u8; 100]).unwrap();
@@ -141,7 +143,7 @@ fn bench_compression(c: &mut Criterion) {
     }
     g.throughput(Throughput::Bytes(data.len() as u64));
     for ty in [CompressionType::Lz4, CompressionType::Snappy, CompressionType::Zstd] {
-        g.bench_function(format!("compress/{ty}"), |b| {
+        g.bench_function(&format!("compress/{ty}"), |b| {
             b.iter(|| compress::compress(ty, &data).unwrap());
         });
     }

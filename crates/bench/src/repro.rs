@@ -331,7 +331,8 @@ pub fn run_figure(config: &ReproConfig, device: DeviceModel, tag: &str) -> Resul
         out
     };
 
-    let panels: Vec<(&str, Box<dyn Fn(&elmo_tune::IterationMetrics) -> f64>)> = vec![
+    type Panel<'a> = (&'a str, Box<dyn Fn(&elmo_tune::IterationMetrics) -> f64>);
+    let panels: Vec<Panel> = vec![
         (
             "throughput_ops_per_sec",
             Box::new(|m: &elmo_tune::IterationMetrics| m.ops_per_sec),

@@ -86,10 +86,8 @@ pub fn parse_db_bench_output(text: &str) -> Option<ParsedBench> {
                     if *tok == "ops/sec" && i > 0 {
                         parsed.ops_per_sec = tokens[i - 1].parse().unwrap_or(0.0);
                     }
-                    if *tok == "operations;" || *tok == "operations" {
-                        if i > 0 {
-                            parsed.ops = tokens[i - 1].parse().unwrap_or(0);
-                        }
+                    if (*tok == "operations;" || *tok == "operations") && i > 0 {
+                        parsed.ops = tokens[i - 1].parse().unwrap_or(0);
                     }
                 }
                 found_headline = true;

@@ -152,8 +152,7 @@ pub fn vet(base: &Options, changes: &[ProposedChange], policy: &SafeguardPolicy)
             Some(meta) => meta.name.to_string(),
             None => match find_deprecated(&change.name) {
                 Some(dep) => {
-                    if policy.remap_deprecated && dep.remap_to.is_some() {
-                        let target = dep.remap_to.expect("checked");
+                    if let (true, Some(target)) = (policy.remap_deprecated, dep.remap_to) {
                         violations.push(Violation {
                             name: change.name.clone(),
                             value: change.value.clone(),

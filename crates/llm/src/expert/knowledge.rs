@@ -259,7 +259,7 @@ pub fn recommend(facts: &PromptFacts) -> Vec<Recommendation> {
 /// Applies the "memory budget" discipline the paper highlights: shrink
 /// the block cache if buffers + cache would exceed ~60% of RAM.
 /// Returns a note when an adjustment happened.
-pub fn enforce_memory_budget(facts: &PromptFacts, recs: &mut Vec<Recommendation>) -> Option<String> {
+pub fn enforce_memory_budget(facts: &PromptFacts, recs: &mut [Recommendation]) -> Option<String> {
     let mem_bytes = (facts.mem_gib.unwrap_or(8.0) * (1u64 << 30) as f64) as u64;
     let budget = (mem_bytes as f64 * 0.6) as u64;
 

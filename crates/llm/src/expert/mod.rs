@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn responds_with_parseable_structure() {
         let mut m = ExpertModel::well_behaved(1);
-        let r = m.complete(&ChatRequest::single_turn("gpt-4", &prompt(1))).unwrap();
+        let r = m.complete(&ChatRequest::single_turn("gpt-4", prompt(1))).unwrap();
         assert!(r.content.contains("```"));
         assert!(r.content.contains('='));
         assert!(r.usage.completion_tokens > 0);
@@ -110,22 +110,22 @@ mod tests {
     fn deterministic_per_seed_and_prompt() {
         let mut a = ExpertModel::well_behaved(9);
         let mut b = ExpertModel::well_behaved(9);
-        let p = ChatRequest::single_turn("gpt-4", &prompt(2));
+        let p = ChatRequest::single_turn("gpt-4", prompt(2));
         assert_eq!(a.complete(&p).unwrap().content, b.complete(&p).unwrap().content);
     }
 
     #[test]
     fn different_iterations_give_different_answers() {
         let mut m = ExpertModel::well_behaved(1);
-        let r1 = m.complete(&ChatRequest::single_turn("g", &prompt(1))).unwrap();
-        let r2 = m.complete(&ChatRequest::single_turn("g", &prompt(2))).unwrap();
+        let r1 = m.complete(&ChatRequest::single_turn("g", prompt(1))).unwrap();
+        let r2 = m.complete(&ChatRequest::single_turn("g", prompt(2))).unwrap();
         assert_ne!(r1.content, r2.content);
     }
 
     #[test]
     fn hdd_write_heavy_prompt_mentions_readahead_or_syncs() {
         let mut m = ExpertModel::well_behaved(1);
-        let r = m.complete(&ChatRequest::single_turn("g", &prompt(1))).unwrap();
+        let r = m.complete(&ChatRequest::single_turn("g", prompt(1))).unwrap();
         assert!(
             r.content.contains("bytes_per_sync") || r.content.contains("compaction_readahead_size"),
             "{}",
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn unsafe_suggestion_appears_with_quirks_on() {
         let mut m = ExpertModel::new(1, QuirkConfig::default());
-        let r = m.complete(&ChatRequest::single_turn("g", &prompt(2))).unwrap();
+        let r = m.complete(&ChatRequest::single_turn("g", prompt(2))).unwrap();
         assert!(r.content.contains("disable_wal"), "iteration 2 write-heavy: the classic bad advice");
     }
 }

@@ -112,7 +112,7 @@ pub fn render(facts: &PromptFacts, plan: &ResponsePlan) -> String {
                 None => (None, &refs[..]),
             };
             out.push_str("Main changes:\n\n```ini\n");
-            out.push_str(&ini_block(&head.iter().copied().collect::<Vec<_>>()));
+            out.push_str(&ini_block(head));
             out.push_str("```\n\n");
             if let Some(t) = tail {
                 out.push_str(&format!(

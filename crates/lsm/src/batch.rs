@@ -31,6 +31,15 @@ impl WriteBatch {
         Self::default()
     }
 
+    /// Creates an empty batch pre-sized for `ops` operations, avoiding
+    /// reallocation of the entry list on the hot single-op path.
+    pub fn with_capacity(ops: usize) -> Self {
+        WriteBatch {
+            entries: Vec::with_capacity(ops),
+            approximate_bytes: 0,
+        }
+    }
+
     /// Adds a key/value insertion.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
         self.approximate_bytes += key.len() + value.len() + 13;

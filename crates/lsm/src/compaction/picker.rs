@@ -92,10 +92,10 @@ pub fn pending_compaction_bytes(opts: &Options, version: &Version) -> u64 {
         let avg = version.level_bytes(0) / l0_files.max(1);
         debt += avg * (l0_files - trigger);
     }
-    for l in 1..version.num_levels() {
+    for (l, &target) in targets.iter().enumerate().take(version.num_levels()).skip(1) {
         let bytes = version.level_bytes(l);
-        if targets[l] != u64::MAX && bytes > targets[l] {
-            debt += bytes - targets[l];
+        if target != u64::MAX && bytes > target {
+            debt += bytes - target;
         }
     }
     debt
@@ -127,12 +127,12 @@ fn pick_leveled(opts: &Options, version: &Version) -> Option<CompactionPick> {
         let score = l0_unclaimed.len() as f64 / opts.level0_file_num_compaction_trigger.max(1) as f64;
         best = Some((score, 0));
     }
-    for level in 1..n - 1 {
-        if targets[level] == u64::MAX {
+    for (level, &target) in targets.iter().enumerate().take(n - 1).skip(1) {
+        if target == u64::MAX {
             continue;
         }
         let bytes: u64 = unclaimed(version.files(level)).iter().map(|f| f.size).sum();
-        let score = bytes as f64 / targets[level] as f64;
+        let score = bytes as f64 / target as f64;
         if best.map(|(s, _)| score > s).unwrap_or(true) {
             best = Some((score, level));
         }
@@ -370,8 +370,10 @@ mod tests {
 
     #[test]
     fn level_size_trigger() {
-        let mut opts = Options::default();
-        opts.max_bytes_for_level_base = 10_000;
+        let opts = Options {
+            max_bytes_for_level_base: 10_000,
+            ..Options::default()
+        };
         let v = version_with(&[
             (1, meta(1, "a", "f", 8_000)),
             (1, meta(2, "g", "p", 8_000)),
@@ -402,8 +404,10 @@ mod tests {
 
     #[test]
     fn dynamic_level_bytes_changes_targets() {
-        let mut opts = Options::default();
-        opts.level_compaction_dynamic_level_bytes = true;
+        let opts = Options {
+            level_compaction_dynamic_level_bytes: true,
+            ..Options::default()
+        };
         let v = version_with(&[(6, meta(1, "a", "z", 100 << 30))]);
         let targets = level_targets(&opts, &v);
         assert_eq!(targets[6], 100 << 30);
@@ -413,8 +417,10 @@ mod tests {
 
     #[test]
     fn pending_bytes_grow_with_debt() {
-        let mut opts = Options::default();
-        opts.max_bytes_for_level_base = 1_000;
+        let opts = Options {
+            max_bytes_for_level_base: 1_000,
+            ..Options::default()
+        };
         let quiet = version_with(&[(1, meta(1, "a", "b", 500))]);
         assert_eq!(pending_compaction_bytes(&opts, &quiet), 0);
         let busy = version_with(&[(1, meta(1, "a", "b", 50_000))]);
@@ -423,10 +429,12 @@ mod tests {
 
     #[test]
     fn universal_size_ratio_merges_newest_runs() {
-        let mut opts = Options::default();
-        opts.compaction_style = CompactionStyle::Universal;
-        opts.level0_file_num_compaction_trigger = 4;
-        opts.universal_max_size_amplification_percent = 10_000; // avoid full merge
+        let opts = Options {
+            compaction_style: CompactionStyle::Universal,
+            level0_file_num_compaction_trigger: 4,
+            universal_max_size_amplification_percent: 10_000, // avoid full merge
+            ..Options::default()
+        };
         let v = version_with(&[
             (0, meta(10, "a", "z", 1_000)),
             (0, meta(9, "a", "z", 1_000)),
@@ -444,10 +452,12 @@ mod tests {
 
     #[test]
     fn universal_space_amp_full_merge() {
-        let mut opts = Options::default();
-        opts.compaction_style = CompactionStyle::Universal;
-        opts.level0_file_num_compaction_trigger = 2;
-        opts.universal_max_size_amplification_percent = 200;
+        let opts = Options {
+            compaction_style: CompactionStyle::Universal,
+            level0_file_num_compaction_trigger: 2,
+            universal_max_size_amplification_percent: 200,
+            ..Options::default()
+        };
         let v = version_with(&[
             (0, meta(3, "a", "z", 3_000)),
             (0, meta(2, "a", "z", 3_000)),
@@ -463,9 +473,11 @@ mod tests {
 
     #[test]
     fn fifo_drops_oldest() {
-        let mut opts = Options::default();
-        opts.compaction_style = CompactionStyle::Fifo;
-        opts.fifo_max_table_files_size = 2_500;
+        let opts = Options {
+            compaction_style: CompactionStyle::Fifo,
+            fifo_max_table_files_size: 2_500,
+            ..Options::default()
+        };
         let v = version_with(&[
             (0, meta(3, "a", "z", 1_000)),
             (0, meta(2, "a", "z", 1_000)),

@@ -11,15 +11,22 @@
 //! are shared with foreground work, so background pressure shows up as
 //! foreground tail latency — the phenomenon LSM tuning fights.
 //!
-//! With a wall [`hw_sim::Clock`] the same code runs in real time (costs
-//! are still accounted but `advance` is a no-op), making the engine
-//! usable as an ordinary embedded store.
+//! With a wall [`hw_sim::Clock`] the engine switches to *real-concurrency
+//! mode* instead: writers coalesce through a group-commit queue (one
+//! leader appends and syncs the WAL for the whole group), flushes and
+//! compactions run on a pool of background OS threads honoring
+//! `max_background_jobs`, and reads traverse immutable snapshots
+//! (`Arc`ed memtables and versions) without holding the state mutex for
+//! the lookup. The mode is selected once at [`Db::open`] from the
+//! environment's clock; simulation behavior is byte-identical to before
+//! the runtime existed.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use hw_sim::{AccessPattern, HardwareEnv, MemoryUser, SimDuration, SimTime};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::batch::WriteBatch;
 use crate::cache::{BlockCache, BlockKey, CacheStats, TableCache};
@@ -30,6 +37,7 @@ use crate::error::{Error, Result};
 use crate::flush::{build_l0_table, sst_file_name};
 use crate::memtable::{MemTable, MemTableGet};
 use crate::options::{ini, Options};
+use crate::runtime::{BgShared, PreparedWrite, Runtime};
 use crate::sstable::block::Block;
 use crate::sstable::compress::decompress_cpu_cost;
 use crate::sstable::table::{FinishedTable, TableConfig, TableReader};
@@ -113,6 +121,7 @@ impl Default for CostModel {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
+#[allow(clippy::enum_variant_names)] // the shared "Done" suffix is the point
 enum EventKind {
     FlushDone {
         file_number: FileNumber,
@@ -179,6 +188,10 @@ struct DbState {
     pending_compaction_bytes: u64,
     dirty_wal_bytes: u64,
     writes_since_account: u64,
+    /// Real mode: input SSTs replaced by a compaction but possibly still
+    /// referenced by readers holding an older `Arc<Version>`. Physically
+    /// deleted once their only remaining reference is this list.
+    obsolete_files: Vec<Arc<FileMetadata>>,
 }
 
 /// Aggregate statistics exposed for prompts, reports, and tests.
@@ -218,6 +231,32 @@ impl DbStats {
 /// One key/value pair returned by a scan.
 pub type ScanResult = Vec<(Vec<u8>, Vec<u8>)>;
 
+/// Per-write durability options (RocksDB `WriteOptions` analog).
+#[derive(Debug, Clone, Default)]
+pub struct WriteOptions {
+    /// Block until the WAL is durably synced before acknowledging the
+    /// write. In real-concurrency mode the sync is amortized across the
+    /// whole commit group, which is where multi-threaded write
+    /// throughput comes from.
+    pub sync: bool,
+}
+
+impl WriteOptions {
+    /// Options requesting a durable (synced) write.
+    pub fn synced() -> Self {
+        WriteOptions { sync: true }
+    }
+}
+
+/// Upper bound on batches coalesced into one commit group.
+const MAX_GROUP_BATCHES: usize = 128;
+
+/// How long a stalled real-mode writer waits before giving up.
+const REAL_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Wait slice for foreground threads blocked on background progress.
+const REAL_WAIT_SLICE: Duration = Duration::from_millis(20);
+
 struct DbInner {
     opts: Options,
     cost: CostModel,
@@ -228,6 +267,20 @@ struct DbInner {
     table_cache: TableCache<TableReader>,
     tickers: Tickers,
     controller: WriteController,
+    /// `Some` in real-concurrency (wall clock) mode, `None` in simulation.
+    runtime: Option<Runtime>,
+    /// Number of live user-facing [`Db`] handles (workers hold `Weak`s).
+    handles: std::sync::atomic::AtomicUsize,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Backstop: `Db::drop` normally joined the pool already; this
+        // covers panics that skipped it.
+        if let Some(rt) = &self.runtime {
+            rt.shutdown_and_join();
+        }
+    }
 }
 
 impl std::fmt::Debug for DbInner {
@@ -239,13 +292,50 @@ impl std::fmt::Debug for DbInner {
 /// An LSM-tree key-value store.
 ///
 /// See the crate docs for an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Db {
     inner: Arc<DbInner>,
 }
 
+impl Clone for Db {
+    fn clone(&self) -> Db {
+        self.inner
+            .handles
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        Db {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        // When the last user handle goes away in real mode, stop and
+        // join the worker pool *before* returning: a worker may hold a
+        // transient strong reference, and letting it drop `DbInner`
+        // later would race a caller that immediately reopens the path
+        // (the buffered manifest tail would still be in flight).
+        if self.inner.runtime.is_some()
+            && self
+                .inner
+                .handles
+                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+                == 1
+        {
+            if let Some(rt) = &self.inner.runtime {
+                rt.shutdown_and_join();
+            }
+        }
+    }
+}
+
 impl Db {
     /// Opens (creating or recovering) a database on `vfs` under `env`.
+    ///
+    /// The execution mode follows the environment's clock: a simulated
+    /// clock selects the single-threaded discrete-event mode, a wall
+    /// clock selects real-concurrency mode (group commit + background
+    /// worker pool).
     ///
     /// # Errors
     ///
@@ -266,8 +356,14 @@ impl Db {
         } else {
             Self::create_fresh(&opts, vfs.as_ref())?
         };
+        let runtime = if env.clock().is_sim() {
+            None
+        } else {
+            Some(Runtime::new(state.last_seq))
+        };
+        let workers = opts.max_background_jobs.clamp(1, 16) as usize;
 
-        Ok(Db {
+        let db = Db {
             inner: Arc::new(DbInner {
                 opts,
                 cost: CostModel::default(),
@@ -278,8 +374,24 @@ impl Db {
                 table_cache,
                 tickers: Tickers::new(),
                 controller,
+                runtime,
+                handles: std::sync::atomic::AtomicUsize::new(1),
             }),
-        })
+        };
+        if let Some(rt) = &db.inner.runtime {
+            for i in 0..workers {
+                // Workers hold only a Weak handle: dropping the last Db
+                // must shut the pool down, not leak it.
+                let weak = Arc::downgrade(&db.inner);
+                let bg = Arc::clone(&rt.bg);
+                let handle = std::thread::Builder::new()
+                    .name(format!("lsm-bg-{i}"))
+                    .spawn(move || background_worker(weak, bg))
+                    .map_err(|e| Error::io(format!("spawn background worker: {e}")))?;
+                rt.register_worker(handle);
+            }
+        }
+        Ok(db)
     }
 
     /// Opens a fresh database on an in-memory VFS with simulated timing.
@@ -341,6 +453,7 @@ impl Db {
             pending_compaction_bytes: 0,
             dirty_wal_bytes: 0,
             writes_since_account: 0,
+            obsolete_files: Vec::new(),
         })
     }
 
@@ -396,10 +509,8 @@ impl Db {
                 // pair, which is harmless, while filtering on a sequence
                 // cutoff would lose memtable-only writes (flush edits
                 // record the *global* sequence, not the flushed one).
-                let mut seq = first_seq;
-                for (ty, key, value) in batch.iter() {
-                    mem.add(seq, ty, key, value);
-                    seq += 1;
+                for (i, (ty, key, value)) in batch.iter().enumerate() {
+                    mem.add(first_seq + i as u64, ty, key, value);
                 }
                 last_seq = last_seq.max(first_seq + batch.len().saturating_sub(1) as u64);
             }
@@ -481,6 +592,7 @@ impl Db {
             pending_compaction_bytes: pending,
             dirty_wal_bytes: 0,
             writes_since_account: 0,
+            obsolete_files: Vec::new(),
         })
     }
 
@@ -495,7 +607,7 @@ impl Db {
     /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
     /// stall cannot clear.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
+        let mut batch = WriteBatch::with_capacity(1);
         batch.put(key, value);
         self.write(batch)
     }
@@ -506,21 +618,46 @@ impl Db {
     ///
     /// Same as [`Db::put`].
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
+        let mut batch = WriteBatch::with_capacity(1);
         batch.delete(key);
         self.write(batch)
     }
 
-    /// Applies a batch atomically.
+    /// Applies a batch atomically with default write options.
     ///
     /// # Errors
     ///
     /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
     /// stall cannot clear.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_opt(&WriteOptions::default(), batch)
+    }
+
+    /// Applies a batch atomically.
+    ///
+    /// In real-concurrency mode the batch joins the group-commit queue:
+    /// the first queued writer becomes leader, appends every queued
+    /// batch to the WAL with one write (and one sync, if any member
+    /// requested it), applies them to the memtable, and wakes the
+    /// followers. In simulation mode the write is applied inline under
+    /// the modeled costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// stall cannot clear.
+    pub fn write_opt(&self, write_opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
+        if self.inner.runtime.is_some() {
+            self.write_real(write_opts, batch)
+        } else {
+            self.write_sim(write_opts, batch)
+        }
+    }
+
+    fn write_sim(&self, write_opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         let inner = &*self.inner;
         let mut state = inner.state.lock();
         let mut now = inner.env.clock().now();
@@ -550,24 +687,25 @@ impl Db {
                 }
                 WriteRegime::Stopped => {
                     inner.tickers.inc(Ticker::WriteStops);
+                    // Schedule-then-wait: make sure any claimable relief
+                    // work is in flight *before* deciding whether to wait
+                    // or give up, so a queued background completion can
+                    // never race the guard into a spurious Busy.
+                    inner.maybe_schedule_flush(&mut state, now)?;
+                    inner.maybe_schedule_compaction(&mut state, now)?;
                     let Some(next) = state.events.peek().map(|e| e.at) else {
-                        // Nothing in flight that could relieve the stall;
-                        // try to schedule work, otherwise give up on
-                        // throttling rather than deadlock.
-                        inner.maybe_schedule_flush(&mut state, now)?;
-                        inner.maybe_schedule_compaction(&mut state, now)?;
-                        if state.events.is_empty() {
-                            break;
-                        }
-                        continue;
+                        // Nothing in flight can relieve the stall; give
+                        // up on throttling rather than deadlock.
+                        break;
                     };
                     let wait = next.saturating_since(now);
                     inner.env.clock().advance_to(next);
                     inner.tickers.add(Ticker::StallNanos, wait.as_nanos());
                     now = inner.env.clock().now();
                     inner.pump_events(&mut state, now)?;
-                    inner.maybe_schedule_flush(&mut state, now)?;
-                    inner.maybe_schedule_compaction(&mut state, now)?;
+                    // The head event was consumed: that is real progress,
+                    // so the no-progress guard starts over.
+                    guard = 0;
                 }
             }
         }
@@ -590,7 +728,15 @@ impl Db {
                 );
             // Incremental WAL syncing (wal_bytes_per_sync) or OS writeback.
             let per_sync = inner.opts.wal_bytes_per_sync;
-            if per_sync > 0 && wal.bytes_since_sync() >= per_sync {
+            if write_opts.sync {
+                // Durable write: the foreground blocks on the device sync.
+                let chunk = wal.bytes_since_sync();
+                wal.sync()?;
+                let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
+                let done = inner.env.device().submit_sync(done);
+                inner.env.clock().advance_to(done);
+                inner.tickers.inc(Ticker::WalSyncs);
+            } else if per_sync > 0 && wal.bytes_since_sync() >= per_sync {
                 let chunk = wal.bytes_since_sync();
                 wal.sync()?;
                 let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
@@ -618,10 +764,8 @@ impl Db {
         let mut inserted_bytes = 0u64;
         {
             let mut mem = state.mem.write();
-            let mut seq = first_seq;
-            for (ty, key, value) in batch.iter() {
-                mem.add(seq, ty, key, value);
-                seq += 1;
+            for (i, (ty, key, value)) in batch.iter().enumerate() {
+                mem.add(first_seq + i as u64, ty, key, value);
                 inserted_bytes += (key.len() + value.len()) as u64;
             }
         }
@@ -665,6 +809,59 @@ impl Db {
         Ok(())
     }
 
+    /// Real-concurrency write: joins the group-commit queue. The first
+    /// writer to find no active leader drains the queue front and
+    /// commits the whole group; everyone else waits on the condvar for
+    /// their id to pass the completion watermark.
+    fn write_real(&self, write_opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        let inner = &*self.inner;
+        let rt = inner.runtime.as_ref().expect("real mode");
+        if let Some(e) = rt.fatal_error() {
+            return Err(e);
+        }
+        // Without concurrent memtable writes, commit strictly one batch
+        // at a time (the queue still serializes leaders).
+        let max_group = if inner.opts.allow_concurrent_memtable_write {
+            MAX_GROUP_BATCHES
+        } else {
+            1
+        };
+        let prepared = PreparedWrite::prepare(&batch, write_opts.sync);
+        let mut queue = rt.commit.lock();
+        let id = queue.next_id;
+        queue.next_id += 1;
+        queue.pending.push_back((id, prepared));
+        loop {
+            if queue.completed > id {
+                return match queue.take_failure(id) {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
+            }
+            if queue.leader_active {
+                rt.commit_cv.wait(&mut queue);
+                continue;
+            }
+            queue.leader_active = true;
+            let take = queue.pending.len().min(max_group);
+            let mut group: Vec<(u64, PreparedWrite)> = queue.pending.drain(..take).collect();
+            drop(queue);
+            let result = inner.commit_group(rt, &mut group);
+            queue = rt.commit.lock();
+            let last_id = group.last().expect("leader drained at least one").0;
+            if let Err(e) = &result {
+                for (gid, _) in &group {
+                    queue.failures.push((*gid, e.clone()));
+                }
+            }
+            queue.completed = last_id + 1;
+            queue.leader_active = false;
+            rt.commit_cv.notify_all();
+            // This writer's own batch may not have been in the group it
+            // led (group size capped); if so, go around again.
+        }
+    }
+
     // -----------------------------------------------------------------
     // Read path
     // -----------------------------------------------------------------
@@ -678,8 +875,10 @@ impl Db {
         let inner = &*self.inner;
         let (mem, imm, version, snapshot) = {
             let mut state = inner.state.lock();
-            let now = inner.env.clock().now();
-            inner.pump_events(&mut state, now)?;
+            if inner.runtime.is_none() {
+                let now = inner.env.clock().now();
+                inner.pump_events(&mut state, now)?;
+            }
             (
                 Arc::clone(&state.mem),
                 state
@@ -688,7 +887,13 @@ impl Db {
                     .map(|e| Arc::clone(&e.mem))
                     .collect::<Vec<_>>(),
                 Arc::clone(&state.version),
-                state.last_seq,
+                // Real mode: read the published watermark instead of
+                // last_seq, which may include a group still committing
+                // (its entries not yet in the memtable).
+                match &inner.runtime {
+                    Some(rt) => rt.visible_seq(),
+                    None => state.last_seq,
+                },
             )
         };
 
@@ -759,8 +964,10 @@ impl Db {
         let inner = &*self.inner;
         let (mem, imm, version, snapshot) = {
             let mut state = inner.state.lock();
-            let now = inner.env.clock().now();
-            inner.pump_events(&mut state, now)?;
+            if inner.runtime.is_none() {
+                let now = inner.env.clock().now();
+                inner.pump_events(&mut state, now)?;
+            }
             (
                 Arc::clone(&state.mem),
                 state
@@ -769,7 +976,10 @@ impl Db {
                     .map(|e| Arc::clone(&e.mem))
                     .collect::<Vec<_>>(),
                 Arc::clone(&state.version),
-                state.last_seq,
+                match &inner.runtime {
+                    Some(rt) => rt.visible_seq(),
+                    None => state.last_seq,
+                },
             )
         };
 
@@ -796,7 +1006,7 @@ impl Db {
             }
         }
 
-        let mut out = Vec::with_capacity(count);
+        let mut out = Vec::with_capacity(count.min(4096));
         let mut last_user: Option<Vec<u8>> = None;
         let mut cpu = inner.cost.get_base_cpu;
         while out.len() < count {
@@ -822,11 +1032,18 @@ impl Db {
             cpu += inner.cost.scan_entry_cpu;
 
             let user_key = &key[..key.len() - 8];
+            let tag = u64::from_le_bytes(key[key.len() - 8..].try_into().expect("tag"));
+            if (tag >> 8) > snapshot {
+                // The seek target only bounds the first key; entries for
+                // later keys can carry sequences past our read snapshot
+                // (e.g. a group commit applying concurrently). Skipping
+                // them keeps scans atomic with respect to batches.
+                continue;
+            }
             if last_user.as_deref() == Some(user_key) {
                 continue; // shadowed
             }
             last_user = Some(user_key.to_vec());
-            let tag = u64::from_le_bytes(key[key.len() - 8..].try_into().expect("tag"));
             if (tag & 0xff) == ValueType::Deletion as u64 {
                 continue; // tombstone
             }
@@ -850,6 +1067,22 @@ impl Db {
     /// Propagates flush I/O errors.
     pub fn flush(&self) -> Result<()> {
         let inner = &*self.inner;
+        if let Some(rt) = &inner.runtime {
+            let mut state = inner.state.lock();
+            if !state.mem.read().is_empty() {
+                inner.switch_memtable(&mut state)?;
+            }
+            loop {
+                if let Some(e) = rt.fatal_error() {
+                    return Err(e);
+                }
+                if state.imm.is_empty() && state.running_flushes == 0 {
+                    return Ok(());
+                }
+                rt.bg.kick();
+                rt.done_cv.wait_for(&mut state, REAL_WAIT_SLICE);
+            }
+        }
         let mut state = inner.state.lock();
         if !state.mem.read().is_empty() {
             inner.switch_memtable(&mut state)?;
@@ -876,6 +1109,24 @@ impl Db {
     pub fn compact_all(&self) -> Result<()> {
         self.flush()?;
         let inner = &*self.inner;
+        if let Some(rt) = &inner.runtime {
+            let mut state = inner.state.lock();
+            loop {
+                if let Some(e) = rt.fatal_error() {
+                    return Err(e);
+                }
+                if state.running_compactions == 0
+                    && state.running_flushes == 0
+                    && state.imm.is_empty()
+                    && (inner.opts.disable_auto_compactions
+                        || pick_compaction(&inner.opts, &state.version).is_none())
+                {
+                    return Ok(());
+                }
+                rt.bg.kick();
+                rt.done_cv.wait_for(&mut state, REAL_WAIT_SLICE);
+            }
+        }
         let mut state = inner.state.lock();
         loop {
             let now = inner.env.clock().now();
@@ -904,6 +1155,27 @@ impl Db {
     pub fn compact_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
         self.flush()?;
         let inner = &*self.inner;
+        if let Some(rt) = &inner.runtime {
+            // Manual compaction runs on the calling thread, like
+            // RocksDB's CompactRange; automatic jobs keep their workers.
+            loop {
+                let mut state = inner.state.lock();
+                if let Some(e) = rt.fatal_error() {
+                    return Err(e);
+                }
+                if state.running_compactions > 0 || state.running_flushes > 0 {
+                    rt.done_cv.wait_for(&mut state, REAL_WAIT_SLICE);
+                    continue;
+                }
+                let version = Arc::clone(&state.version);
+                let Some(c) = pick_range_compaction(&version, start, end) else {
+                    return Ok(());
+                };
+                let job = inner.real_claim_merge(&mut state, c);
+                drop(state);
+                inner.real_run_merge(rt, job)?;
+            }
+        }
         let mut state = inner.state.lock();
         loop {
             let now = inner.env.clock().now();
@@ -915,47 +1187,10 @@ impl Db {
                 inner.env.clock().advance_to(next);
                 continue;
             }
-            // Find the shallowest level with files in range that has any
-            // deeper level (or overlap) to merge into.
             let version = Arc::clone(&state.version);
-            let n = version.num_levels();
-            let mut scheduled = false;
-            for level in 0..n - 1 {
-                let overlapping = version.overlapping_files(level, start, end);
-                let unclaimed: Vec<_> = overlapping
-                    .into_iter()
-                    .filter(|f| !f.is_being_compacted())
-                    .collect();
-                if unclaimed.is_empty() {
-                    continue;
-                }
-                // Already fully pushed down? Only compact if a deeper
-                // level holds overlapping data or this is not the last
-                // populated level in range.
-                let deeper_has_data = (level + 1..n)
-                    .any(|l| !version.overlapping_files(l, start, end).is_empty());
-                if !deeper_has_data && level > 0 && version.files(0).is_empty() {
-                    continue;
-                }
-                let output_level = level + 1;
-                let bottom = version.overlapping_files(output_level, start, end);
-                if bottom.iter().any(|f| f.is_being_compacted()) {
-                    continue;
-                }
-                let mut inputs: Vec<(usize, Arc<FileMetadata>)> =
-                    unclaimed.into_iter().map(|f| (level, f)).collect();
-                inputs.extend(bottom.into_iter().map(|f| (output_level, f)));
-                let c = crate::compaction::CompactionInputs {
-                    inputs,
-                    output_level,
-                    reason: crate::compaction::CompactionReason::LevelSize,
-                };
-                inner.schedule_merge(&mut state, now, c)?;
-                scheduled = true;
-                break;
-            }
-            if !scheduled {
-                return Ok(());
+            match pick_range_compaction(&version, start, end) {
+                Some(c) => inner.schedule_merge(&mut state, now, c)?,
+                None => return Ok(()),
             }
         }
         Ok(())
@@ -968,6 +1203,22 @@ impl Db {
     /// Propagates background job errors.
     pub fn wait_background_idle(&self) -> Result<()> {
         let inner = &*self.inner;
+        if let Some(rt) = &inner.runtime {
+            let mut state = inner.state.lock();
+            loop {
+                if let Some(e) = rt.fatal_error() {
+                    return Err(e);
+                }
+                if state.running_flushes == 0
+                    && state.running_compactions == 0
+                    && !inner.has_claimable_work(&state)
+                {
+                    return Ok(());
+                }
+                rt.bg.kick();
+                rt.done_cv.wait_for(&mut state, REAL_WAIT_SLICE);
+            }
+        }
         let mut state = inner.state.lock();
         loop {
             let now = inner.env.clock().now();
@@ -1008,6 +1259,87 @@ impl Db {
 
 fn memtable_bloom_bytes(opts: &Options) -> usize {
     (opts.write_buffer_size as f64 * opts.memtable_prefix_bloom_size_ratio) as usize
+}
+
+/// Finds the shallowest level with unclaimed files in `[start, end]`
+/// worth pushing down one level (the selection behind `compact_range`,
+/// shared by both execution modes).
+fn pick_range_compaction(
+    version: &Version,
+    start: &[u8],
+    end: &[u8],
+) -> Option<crate::compaction::CompactionInputs> {
+    let n = version.num_levels();
+    for level in 0..n - 1 {
+        let overlapping = version.overlapping_files(level, start, end);
+        let unclaimed: Vec<_> = overlapping
+            .into_iter()
+            .filter(|f| !f.is_being_compacted())
+            .collect();
+        if unclaimed.is_empty() {
+            continue;
+        }
+        // Already fully pushed down? Only compact if a deeper level
+        // holds overlapping data or this is not the last populated
+        // level in range.
+        let deeper_has_data =
+            (level + 1..n).any(|l| !version.overlapping_files(l, start, end).is_empty());
+        if !deeper_has_data && level > 0 && version.files(0).is_empty() {
+            continue;
+        }
+        let output_level = level + 1;
+        let bottom = version.overlapping_files(output_level, start, end);
+        if bottom.iter().any(|f| f.is_being_compacted()) {
+            continue;
+        }
+        let mut inputs: Vec<(usize, Arc<FileMetadata>)> =
+            unclaimed.into_iter().map(|f| (level, f)).collect();
+        inputs.extend(bottom.into_iter().map(|f| (output_level, f)));
+        return Some(crate::compaction::CompactionInputs {
+            inputs,
+            output_level,
+            reason: crate::compaction::CompactionReason::LevelSize,
+        });
+    }
+    None
+}
+
+/// Main loop of a background pool worker.
+///
+/// Holds only a `Weak` database handle plus the shared signal state, so
+/// the pool never keeps the database alive; the handle is re-upgraded
+/// per cycle and dropped before idling.
+fn background_worker(db: Weak<DbInner>, bg: Arc<BgShared>) {
+    let mut seen = 0u64;
+    while !bg.is_shutdown() {
+        let Some(inner) = db.upgrade() else { return };
+        let jobs_run = inner.run_background_cycle();
+        drop(inner);
+        if jobs_run == 0 {
+            seen = bg.wait_for_work(seen, Duration::from_millis(50));
+        }
+    }
+}
+
+/// A background job claimed under the state lock, executed unlocked.
+enum BgJob {
+    Flush {
+        file_number: FileNumber,
+        mems: Vec<Arc<MemTable>>,
+    },
+    Merge(MergeJob),
+    Drop {
+        files: Vec<Arc<FileMetadata>>,
+    },
+}
+
+/// A claimed merging compaction with its parameters frozen at claim time.
+struct MergeJob {
+    inputs: Vec<(usize, Arc<FileMetadata>)>,
+    output_level: usize,
+    bottommost: bool,
+    target_file_size: u64,
+    config: TableConfig,
 }
 
 impl DbState {
@@ -1098,6 +1430,451 @@ impl DbInner {
         }
         self.account_memory(state);
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Real-concurrency mode: group commit
+    // -----------------------------------------------------------------
+
+    /// Commits a leader-drained group: one stall check, one sequence
+    /// reservation, one WAL append (and at most one sync), one memtable
+    /// application — all under a single state critical section.
+    fn commit_group(&self, rt: &Runtime, group: &mut [(u64, PreparedWrite)]) -> Result<()> {
+        let mut state = self.state.lock();
+        let group_bytes: u64 = group.iter().map(|(_, p)| p.record.len() as u64).sum();
+        self.real_wait_writable(rt, &mut state, group_bytes)?;
+
+        // Reserve sequences and stamp them into the prepared batches.
+        let first_seq = state.last_seq + 1;
+        let mut seq = first_seq;
+        let mut group_sync = false;
+        for (_, prepared) in group.iter_mut() {
+            prepared.patch_seq(seq);
+            seq += prepared.count;
+            group_sync |= prepared.sync;
+        }
+        let last_seq = seq - 1;
+        state.last_seq = last_seq;
+
+        // One buffered append for the whole group. A failure here is
+        // fatal for the database: later appends after a torn record
+        // would be silently dropped by recovery.
+        if !self.opts.disable_wal {
+            let records: Vec<&[u8]> = group.iter().map(|(_, p)| p.record.as_slice()).collect();
+            let wal = state.wal.as_mut().expect("wal enabled");
+            match wal.add_records(&records) {
+                Ok(appended) => self.tickers.add(Ticker::WalBytes, appended),
+                Err(e) => {
+                    rt.set_fatal(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+
+        if self.opts.enable_pipelined_write {
+            // Pipelined: entries become visible before the sync returns
+            // (visibility before durability, as in RocksDB).
+            self.apply_group_to_memtable(&state, group);
+            rt.publish_visible(last_seq);
+            self.real_sync_wal(rt, &mut state, group_sync)?;
+        } else {
+            self.real_sync_wal(rt, &mut state, group_sync)?;
+            self.apply_group_to_memtable(&state, group);
+            rt.publish_visible(last_seq);
+        }
+        self.tickers.inc(Ticker::GroupCommits);
+        self.tickers.add(Ticker::GroupCommitBatches, group.len() as u64);
+
+        // Memtable switch triggers (mirrors the sim write path).
+        let mem_bytes = state.mem.read().approximate_memory_usage() as u64;
+        let wal_total: u64 = state.wal.as_ref().map(|w| w.bytes_written()).unwrap_or(0);
+        let db_buffer_full = self.opts.db_write_buffer_size > 0
+            && mem_bytes + state.imm_bytes() > self.opts.db_write_buffer_size;
+        if mem_bytes >= self.opts.write_buffer_size
+            || wal_total >= self.opts.effective_max_total_wal_size()
+            || db_buffer_full
+        {
+            if let Err(e) = self.switch_memtable(&mut state) {
+                rt.set_fatal(e.clone());
+                return Err(e);
+            }
+            rt.bg.kick();
+        }
+
+        state.writes_since_account += group.len() as u64;
+        if state.writes_since_account >= 1024 {
+            state.writes_since_account = 0;
+            self.account_memory(&state);
+        }
+        Ok(())
+    }
+
+    /// Blocks the leader while the write controller reports pressure,
+    /// waiting on background-completion signals instead of spinning.
+    fn real_wait_writable(
+        &self,
+        rt: &Runtime,
+        state: &mut MutexGuard<'_, DbState>,
+        group_bytes: u64,
+    ) -> Result<()> {
+        let mut stopped_for = Duration::ZERO;
+        loop {
+            match self.controller.regime(&self.pressure(state)) {
+                WriteRegime::Normal => return Ok(()),
+                WriteRegime::Delayed => {
+                    self.tickers.inc(Ticker::WriteSlowdowns);
+                    rt.bg.kick();
+                    let delay = Duration::from_nanos(
+                        self.controller.delay_for(group_bytes).as_nanos(),
+                    )
+                    .min(Duration::from_millis(100));
+                    let start = std::time::Instant::now();
+                    rt.done_cv.wait_for(state, delay);
+                    self.tickers
+                        .add(Ticker::StallNanos, start.elapsed().as_nanos() as u64);
+                    return Ok(());
+                }
+                WriteRegime::Stopped => {
+                    self.tickers.inc(Ticker::WriteStops);
+                    if stopped_for >= REAL_STALL_TIMEOUT {
+                        return Err(Error::Busy("write stall did not clear".into()));
+                    }
+                    rt.bg.kick();
+                    let start = std::time::Instant::now();
+                    rt.done_cv.wait_for(state, Duration::from_millis(100));
+                    let waited = start.elapsed();
+                    stopped_for += waited;
+                    self.tickers.add(Ticker::StallNanos, waited.as_nanos() as u64);
+                }
+            }
+        }
+    }
+
+    /// Syncs the WAL if the group asked for it (or `wal_bytes_per_sync`
+    /// is due). A sync failure is fatal: the writes were already
+    /// acknowledged as appended.
+    fn real_sync_wal(&self, rt: &Runtime, state: &mut DbState, group_sync: bool) -> Result<()> {
+        if self.opts.disable_wal {
+            return Ok(());
+        }
+        let per_sync = self.opts.wal_bytes_per_sync;
+        let wal = state.wal.as_mut().expect("wal enabled");
+        if group_sync || (per_sync > 0 && wal.bytes_since_sync() >= per_sync) {
+            if let Err(e) = wal.sync() {
+                rt.set_fatal(e.clone());
+                return Err(e);
+            }
+            self.tickers.inc(Ticker::WalSyncs);
+        }
+        Ok(())
+    }
+
+    /// Moves a group's pre-encoded entries into the active memtable.
+    fn apply_group_to_memtable(&self, state: &DbState, group: &mut [(u64, PreparedWrite)]) {
+        let mut keys = 0u64;
+        let mut payload = 0u64;
+        {
+            let mut mem = state.mem.write();
+            for (_, prepared) in group.iter_mut() {
+                keys += prepared.count;
+                payload += prepared.payload_bytes;
+                for (key, value) in prepared.entries.drain(..) {
+                    mem.add_encoded(key, value);
+                }
+            }
+        }
+        self.tickers.add(Ticker::KeysWritten, keys);
+        self.tickers.add(Ticker::BytesWritten, payload);
+    }
+
+    // -----------------------------------------------------------------
+    // Real-concurrency mode: background job pool
+    // -----------------------------------------------------------------
+
+    /// Claims and runs background jobs until none are claimable.
+    /// Returns how many jobs ran.
+    fn run_background_cycle(&self) -> usize {
+        let rt = self.runtime.as_ref().expect("real mode");
+        let mut jobs_run = 0;
+        while !rt.bg.is_shutdown() {
+            let job = {
+                let mut state = self.state.lock();
+                self.real_claim_job(&mut state)
+            };
+            let Some(job) = job else { break };
+            let result = match job {
+                BgJob::Flush { file_number, mems } => self.real_run_flush(file_number, mems),
+                BgJob::Merge(merge) => self.real_run_merge(rt, merge),
+                BgJob::Drop { files } => self.real_run_drop(files),
+            };
+            if let Err(e) = result {
+                rt.set_fatal(e);
+            }
+            jobs_run += 1;
+            // Completion may unblock stalled writers and unlock further
+            // claims (all waits use timeouts, so notifying without the
+            // state mutex held cannot lose a wakeup permanently).
+            rt.done_cv.notify_all();
+            rt.bg.kick();
+        }
+        jobs_run
+    }
+
+    /// Whether a worker could claim a job right now (used by idle waits).
+    fn has_claimable_work(&self, state: &DbState) -> bool {
+        if state.running_flushes < self.opts.effective_max_flushes() {
+            let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+            let waiting = state.imm.iter().filter(|e| !e.flushing).count();
+            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            if waiting > 0 && (waiting >= min_merge || forced) {
+                return true;
+            }
+        }
+        !self.opts.disable_auto_compactions
+            && state.running_compactions < self.opts.effective_max_compactions()
+            && pick_compaction(&self.opts, &state.version).is_some()
+    }
+
+    /// Claims one job under the state lock: flush first (it relieves
+    /// write stalls), then an automatic compaction pick. Claimed inputs
+    /// are marked (flushing flags / `being_compacted`) so concurrent
+    /// workers cannot double-claim them.
+    fn real_claim_job(&self, state: &mut DbState) -> Option<BgJob> {
+        if state.running_flushes < self.opts.effective_max_flushes() {
+            let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+            let waiting: Vec<usize> = state
+                .imm
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.flushing)
+                .map(|(i, _)| i)
+                .collect();
+            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            if !waiting.is_empty() && (waiting.len() >= min_merge || forced) {
+                let take: Vec<usize> = waiting.into_iter().take(min_merge.max(1)).collect();
+                let mems: Vec<Arc<MemTable>> =
+                    take.iter().map(|i| Arc::clone(&state.imm[*i].mem)).collect();
+                for i in &take {
+                    state.imm[*i].flushing = true;
+                }
+                let file_number = self.alloc_file_number(state);
+                state.running_flushes += 1;
+                return Some(BgJob::Flush { file_number, mems });
+            }
+        }
+        if !self.opts.disable_auto_compactions
+            && state.running_compactions < self.opts.effective_max_compactions()
+        {
+            match pick_compaction(&self.opts, &state.version)? {
+                CompactionPick::Drop { files, .. } => {
+                    for f in &files {
+                        f.set_being_compacted(true);
+                    }
+                    state.running_compactions += 1;
+                    return Some(BgJob::Drop { files });
+                }
+                CompactionPick::Merge(c) => {
+                    return Some(BgJob::Merge(self.real_claim_merge(state, c)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks a merge's inputs claimed and freezes its output parameters.
+    fn real_claim_merge(
+        &self,
+        state: &mut DbState,
+        c: crate::compaction::CompactionInputs,
+    ) -> MergeJob {
+        for (_, f) in &c.inputs {
+            f.set_being_compacted(true);
+        }
+        state.running_compactions += 1;
+        let output_level = c.output_level;
+        let bottommost = output_level + 1 >= state.version.num_levels()
+            || (output_level + 1..state.version.num_levels())
+                .all(|l| state.version.files(l).is_empty());
+        let target_file_size = self.opts.target_file_size_base.max(64 << 10)
+            * (self.opts.target_file_size_multiplier.max(1) as u64)
+                .pow(output_level.saturating_sub(1) as u32);
+        let config = if bottommost {
+            self.bottom_table_config()
+        } else {
+            self.table_config()
+        };
+        MergeJob {
+            inputs: c.inputs,
+            output_level,
+            bottommost,
+            target_file_size,
+            config,
+        }
+    }
+
+    /// Builds the L0 table off-lock, then installs the version edit
+    /// under a short critical section.
+    fn real_run_flush(&self, file_number: FileNumber, mems: Vec<Arc<MemTable>>) -> Result<()> {
+        let built = build_l0_table(self.vfs.as_ref(), file_number, &mems, self.table_config());
+        let mut state = self.state.lock();
+        let finished = match built {
+            Ok(f) => f,
+            Err(e) => {
+                for entry in state.imm.iter_mut() {
+                    if mems.iter().any(|m| Arc::ptr_eq(m, &entry.mem)) {
+                        entry.flushing = false;
+                    }
+                }
+                state.running_flushes -= 1;
+                let _ = self.vfs.delete(&sst_file_name(file_number));
+                return Err(e);
+            }
+        };
+        self.tickers.inc(Ticker::FlushJobs);
+        self.tickers.add(Ticker::FlushBytesWritten, finished.file_size);
+        let meta = Arc::new(FileMetadata::new(
+            file_number,
+            finished.file_size,
+            finished.smallest.clone(),
+            finished.largest.clone(),
+            finished.properties.num_entries,
+        ));
+        // Remove exactly the memtables this job consumed (identified by
+        // pointer: concurrent flushes may interleave completions).
+        state
+            .imm
+            .retain(|e| !mems.iter().any(|m| Arc::ptr_eq(m, &e.mem)));
+        let min_wal = state
+            .imm
+            .iter()
+            .map(|e| e.wal_number)
+            .chain(std::iter::once(state.mem_wal_number))
+            .min()
+            .unwrap_or(state.mem_wal_number);
+        let mut edit = VersionEdit {
+            log_number: Some(min_wal),
+            next_file_number: Some(state.next_file),
+            last_sequence: Some(state.last_seq),
+            ..VersionEdit::default()
+        };
+        edit.added_files.push((0, meta));
+        state.manifest.add_record(&edit.encode())?;
+        state.manifest.sync()?;
+        state.version = Arc::new(state.version.apply(&edit)?);
+        state.wals_on_disk.retain(|n| {
+            if *n < min_wal {
+                let _ = self.vfs.delete(&wal_file_name(*n));
+                false
+            } else {
+                true
+            }
+        });
+        state.running_flushes -= 1;
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        self.account_memory(&state);
+        self.sweep_obsolete(&mut state);
+        Ok(())
+    }
+
+    /// Runs a claimed merge off-lock (output file numbers are allocated
+    /// through short re-locks), then installs the edit.
+    fn real_run_merge(&self, _rt: &Runtime, job: MergeJob) -> Result<()> {
+        let files: Vec<Arc<FileMetadata>> =
+            job.inputs.iter().map(|(_, f)| Arc::clone(f)).collect();
+        let output = run_compaction(
+            self.vfs.as_ref(),
+            &files,
+            job.bottommost,
+            job.target_file_size,
+            &job.config,
+            || {
+                let mut state = self.state.lock();
+                self.alloc_file_number(&mut state)
+            },
+        );
+        let output = match output {
+            Ok(o) => o,
+            Err(e) => {
+                let mut state = self.state.lock();
+                for (_, f) in &job.inputs {
+                    f.set_being_compacted(false);
+                }
+                state.running_compactions -= 1;
+                return Err(e);
+            }
+        };
+        self.tickers.inc(Ticker::CompactionJobs);
+        self.tickers.add(Ticker::CompactionBytesRead, output.bytes_read);
+        self.tickers
+            .add(Ticker::CompactionBytesWritten, output.bytes_written);
+
+        let mut state = self.state.lock();
+        let mut edit = VersionEdit {
+            next_file_number: Some(state.next_file),
+            last_sequence: Some(state.last_seq),
+            ..VersionEdit::default()
+        };
+        for (level, f) in &job.inputs {
+            edit.deleted_files.push((*level, f.number));
+        }
+        for (number, fin) in &output.files {
+            edit.added_files.push((
+                job.output_level,
+                Arc::new(FileMetadata::new(
+                    *number,
+                    fin.file_size,
+                    fin.smallest.clone(),
+                    fin.largest.clone(),
+                    fin.properties.num_entries,
+                )),
+            ));
+        }
+        state.manifest.add_record(&edit.encode())?;
+        state.manifest.sync()?;
+        state.version = Arc::new(state.version.apply(&edit)?);
+        for (_, f) in &job.inputs {
+            f.set_being_compacted(false);
+            state.obsolete_files.push(Arc::clone(f));
+        }
+        state.running_compactions -= 1;
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        self.sweep_obsolete(&mut state);
+        Ok(())
+    }
+
+    /// Applies a claimed FIFO drop under the state lock.
+    fn real_run_drop(&self, files: Vec<Arc<FileMetadata>>) -> Result<()> {
+        let mut state = self.state.lock();
+        let mut edit = VersionEdit::default();
+        for f in &files {
+            edit.deleted_files.push((0, f.number));
+        }
+        state.manifest.add_record(&edit.encode())?;
+        state.manifest.sync()?;
+        state.version = Arc::new(state.version.apply(&edit)?);
+        for f in files {
+            f.set_being_compacted(false);
+            state.obsolete_files.push(f);
+        }
+        state.running_compactions -= 1;
+        self.sweep_obsolete(&mut state);
+        Ok(())
+    }
+
+    /// Physically deletes obsolete SSTs whose only remaining reference
+    /// is the obsolete list itself (no version or in-flight reader can
+    /// still open them).
+    fn sweep_obsolete(&self, state: &mut DbState) {
+        let pending = std::mem::take(&mut state.obsolete_files);
+        for f in pending {
+            if Arc::strong_count(&f) == 1 {
+                let _ = self.vfs.delete(&sst_file_name(f.number));
+                self.table_cache.evict(f.number);
+                self.tickers.inc(Ticker::FilesDeleted);
+            } else {
+                state.obsolete_files.push(f);
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -1918,11 +2695,12 @@ mod tests {
     }
 
     fn small_opts() -> Options {
-        let mut o = Options::default();
-        o.write_buffer_size = 64 << 10; // tiny, to exercise flush/compaction
-        o.target_file_size_base = 64 << 10;
-        o.max_bytes_for_level_base = 256 << 10;
-        o
+        Options {
+            write_buffer_size: 64 << 10, // tiny, to exercise flush/compaction
+            target_file_size_base: 64 << 10,
+            max_bytes_for_level_base: 256 << 10,
+            ..Options::default()
+        }
     }
 
     #[test]
@@ -2178,11 +2956,13 @@ mod compact_range_tests {
             .memory_gib(8)
             .device(DeviceModel::nvme_ssd())
             .build_sim();
-        let mut opts = Options::default();
-        opts.write_buffer_size = 32 << 10;
-        opts.target_file_size_base = 32 << 10;
-        opts.max_bytes_for_level_base = 128 << 10;
-        opts.disable_auto_compactions = true; // everything stays in L0
+        let opts = Options {
+            write_buffer_size: 32 << 10,
+            target_file_size_base: 32 << 10,
+            max_bytes_for_level_base: 128 << 10,
+            disable_auto_compactions: true, // everything stays in L0
+            ..Options::default()
+        };
         let db = Db::open_sim(opts, &env).unwrap();
         for i in 0..3_000 {
             db.put(format!("key-{i:05}").as_bytes(), &[1u8; 50]).unwrap();

@@ -42,6 +42,7 @@ mod compaction;
 mod error;
 mod flush;
 mod memtable;
+mod runtime;
 mod stats;
 mod types;
 mod util;
@@ -54,7 +55,7 @@ pub use compaction::{
     level_targets, pending_compaction_bytes, run_compaction, CompactionInputs,
     CompactionJobOutput, CompactionPick, CompactionReason,
 };
-pub use db::{CostModel, Db, DbStats, ScanResult};
+pub use db::{CostModel, Db, DbStats, ScanResult, WriteOptions};
 pub use error::{Error, Result};
 pub use memtable::{MemTable, MemTableGet};
 pub use stats::{Histogram, HistogramSnapshot, Ticker, TickerSnapshot, Tickers, TICKER_NAMES};

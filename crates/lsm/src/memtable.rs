@@ -94,7 +94,7 @@ impl MemTableBloom {
 
 fn bloom_hashes(key: &[u8]) -> (u64, u64) {
     let h = crate::util::fnv1a(key);
-    (h, (h >> 17) | (h << 47) | 1)
+    (h, h.rotate_right(17) | 1)
 }
 
 const ENTRY_OVERHEAD: usize = 48;
@@ -131,6 +131,28 @@ impl MemTable {
         self.last_seq = self.last_seq.max(seq);
     }
 
+    /// Inserts an entry whose internal key was encoded by the caller
+    /// (`user_key ++ fixed64(seq << 8 | ty)`).
+    ///
+    /// Group commit pre-encodes entries off the critical path and the
+    /// leader moves them in without re-building the key. The caller must
+    /// pass a well-formed internal key (at least 8 bytes of tag).
+    pub fn add_encoded(&mut self, encoded_key: Vec<u8>, value: Vec<u8>) {
+        debug_assert!(encoded_key.len() >= 8, "internal key must carry a tag");
+        let tag_at = encoded_key.len() - 8;
+        let tag = u64::from_le_bytes(encoded_key[tag_at..].try_into().expect("8-byte tag"));
+        let seq = tag >> 8;
+        self.approximate_bytes += encoded_key.len() + value.len() + ENTRY_OVERHEAD;
+        if let Some(bloom) = &mut self.bloom {
+            bloom.add(&encoded_key[..tag_at]);
+        }
+        self.entries.insert(OrderedKey(encoded_key), value);
+        if self.first_seq.is_none() {
+            self.first_seq = Some(seq);
+        }
+        self.last_seq = self.last_seq.max(seq);
+    }
+
     /// Looks up the newest entry for `user_key` visible at `snapshot`.
     pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> MemTableGet {
         if let Some(bloom) = &self.bloom {
@@ -140,19 +162,21 @@ impl MemTable {
         }
         let lookup = crate::types::lookup_key(user_key, snapshot);
         let start = Bound::Included(OrderedKey(lookup.encoded().to_vec()));
-        for (k, v) in self.entries.range((start, Bound::Unbounded)) {
-            let ik = InternalKey::decode(&k.0).expect("memtable keys are valid");
-            if ik.user_key() != user_key {
-                return MemTableGet::NotFound;
+        // Entries are newest-first per user key; the first one at or
+        // below the snapshot decides.
+        match self.entries.range((start, Bound::Unbounded)).next() {
+            Some((k, v)) => {
+                let ik = InternalKey::decode(&k.0).expect("memtable keys are valid");
+                if ik.user_key() != user_key {
+                    return MemTableGet::NotFound;
+                }
+                match ik.value_type() {
+                    ValueType::Value => MemTableGet::Found(v.clone()),
+                    ValueType::Deletion => MemTableGet::Deleted,
+                }
             }
-            // Entries are newest-first per user key; the first one at or
-            // below the snapshot decides.
-            return match ik.value_type() {
-                ValueType::Value => MemTableGet::Found(v.clone()),
-                ValueType::Deletion => MemTableGet::Deleted,
-            };
+            None => MemTableGet::NotFound,
         }
-        MemTableGet::NotFound
     }
 
     /// Approximate memory footprint in bytes.

@@ -108,11 +108,13 @@ mod tests {
 
     #[test]
     fn roundtrip_modified() {
-        let mut opts = Options::default();
-        opts.write_buffer_size = 128 << 20;
-        opts.compression = CompressionType::Zstd;
-        opts.compaction_style = CompactionStyle::Universal;
-        opts.bloom_filter_bits_per_key = 10.0;
+        let opts = Options {
+            write_buffer_size: 128 << 20,
+            compression: CompressionType::Zstd,
+            compaction_style: CompactionStyle::Universal,
+            bloom_filter_bits_per_key: 10.0,
+            ..Options::default()
+        };
         let (parsed, _) = from_ini(&to_ini(&opts)).unwrap();
         assert_eq!(parsed, opts);
     }

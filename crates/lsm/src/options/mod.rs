@@ -137,9 +137,12 @@ pub struct Options {
     pub strict_bytes_per_sync: bool,
     /// Write throughput while the controller is in the slowdown regime.
     pub delayed_write_rate: u64,
-    /// Pipeline WAL append and memtable insert.
+    /// Pipeline WAL append and memtable insert. In real-concurrency mode
+    /// a commit group becomes reader-visible before its WAL sync returns
+    /// when this is on; off means durability strictly precedes visibility.
     pub enable_pipelined_write: bool,
-    /// Allow concurrent memtable inserts.
+    /// Allow concurrent memtable inserts. In real-concurrency mode,
+    /// disabling this caps group commit at one batch per group.
     pub allow_concurrent_memtable_write: bool,
     /// Bypass the OS page cache for user reads.
     pub use_direct_reads: bool,
@@ -456,16 +459,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_inverted_triggers() {
-        let mut o = Options::default();
-        o.level0_slowdown_writes_trigger = 50;
-        o.level0_stop_writes_trigger = 40;
+        let o = Options {
+            level0_slowdown_writes_trigger: 50,
+            level0_stop_writes_trigger: 40,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_zero_write_buffer() {
-        let mut o = Options::default();
-        o.write_buffer_size = 0;
+        let o = Options {
+            write_buffer_size: 0,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
     }
 
@@ -487,8 +494,10 @@ mod tests {
 
     #[test]
     fn bottommost_follows_general_compression() {
-        let mut o = Options::default();
-        o.compression = CompressionType::Zstd;
+        let mut o = Options {
+            compression: CompressionType::Zstd,
+            ..Options::default()
+        };
         assert_eq!(o.effective_bottommost_compression(), CompressionType::Zstd);
         o.compression = CompressionType::None;
         assert_eq!(o.effective_bottommost_compression(), CompressionType::None);

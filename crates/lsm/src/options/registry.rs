@@ -346,9 +346,11 @@ fn build_registry() -> Vec<OptionMeta> {
         opt_size!(delayed_write_rate, Db, (1024.0, GIB64), true, true,
             "Write throughput cap while the write controller is in the slowdown regime"),
         opt_bool!(enable_pipelined_write, Db, false, false, true,
-            "Pipeline WAL append and memtable insert stages of the write path"),
+            "Pipeline WAL append and memtable insert stages of the write path \
+             (real mode: group applies to the memtable before the WAL sync returns)"),
         opt_bool!(allow_concurrent_memtable_write, Db, false, false, true,
-            "Allow multiple writers to insert into the memtable concurrently"),
+            "Allow multiple writers to insert into the memtable concurrently \
+             (real mode: off caps commit groups at a single batch)"),
         opt_bool!(use_direct_reads, Db, false, false, true,
             "Bypass the OS page cache for user reads"),
         opt_bool!(use_direct_io_for_flush_and_compaction, Db, false, false, true,

@@ -1,0 +1,248 @@
+//! Real-concurrency runtime: group-commit plumbing and the background
+//! job pool's shared signalling state.
+//!
+//! In simulation mode the engine is single-threaded and background work
+//! runs eagerly on the foreground thread with its effects installed at
+//! virtual instants. When a [`Db`](crate::Db) is opened against a wall
+//! clock (see `Db::open` with a non-sim `HardwareEnv`), it instead gets a
+//! `Runtime`: writers coalesce through a leader-based commit queue, and a
+//! pool of OS worker threads executes flushes and compactions off the
+//! foreground path.
+//!
+//! The types here are deliberately free of engine logic: the commit
+//! protocol and the job claim/install steps live in `db.rs` where the
+//! engine state is. This module owns the queueing, signalling, and
+//! lifecycle (worker spawn/join) mechanics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::batch::WriteBatch;
+use crate::error::Error;
+use crate::types::{InternalKey, SequenceNumber};
+
+/// A write batch pre-encoded by the submitting thread.
+///
+/// Everything sequence-independent is done before joining the commit
+/// queue: the WAL record is serialized with a zero placeholder in its
+/// first-sequence header, and each memtable entry's internal key is built
+/// with a zero sequence in its tag. The group leader only patches
+/// sequence numbers in place and moves the entries in, keeping the
+/// critical section short.
+pub(crate) struct PreparedWrite {
+    /// WAL record (batch encoding) with `first_seq = 0` placeholder.
+    pub record: Vec<u8>,
+    /// Memtable entries as `(encoded internal key, value)`, tags holding
+    /// the value type but a zero sequence.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Number of operations in the batch.
+    pub count: u64,
+    /// Total user key + value bytes (ticker accounting).
+    pub payload_bytes: u64,
+    /// Whether this write requested a durable WAL sync.
+    pub sync: bool,
+}
+
+impl PreparedWrite {
+    /// Encodes `batch` for commit. CRC framing happens later inside the
+    /// WAL writer, so patching the sequence header afterwards is safe.
+    pub fn prepare(batch: &WriteBatch, sync: bool) -> PreparedWrite {
+        let record = batch.encode(0);
+        let mut entries = Vec::with_capacity(batch.len());
+        let mut payload_bytes = 0u64;
+        for (ty, key, value) in batch.iter() {
+            payload_bytes += (key.len() + value.len()) as u64;
+            entries.push((InternalKey::new(key, 0, ty).encoded().to_vec(), value.to_vec()));
+        }
+        PreparedWrite {
+            record,
+            entries,
+            count: batch.len() as u64,
+            payload_bytes,
+            sync,
+        }
+    }
+
+    /// Stamps the assigned first sequence into the WAL record header and
+    /// each entry's tag (`tag |= seq << 8`; the type byte is already set).
+    pub fn patch_seq(&mut self, first_seq: SequenceNumber) {
+        self.record[0..8].copy_from_slice(&first_seq.to_le_bytes());
+        for (i, (key, _)) in self.entries.iter_mut().enumerate() {
+            let seq = first_seq + i as u64;
+            let tag_at = key.len() - 8;
+            let tag = u64::from_le_bytes(key[tag_at..].try_into().expect("8-byte tag"));
+            key[tag_at..].copy_from_slice(&((tag | (seq << 8)).to_le_bytes()));
+        }
+    }
+}
+
+/// FIFO queue of writes awaiting commit, drained in groups by a leader.
+///
+/// Ids are assigned contiguously at enqueue time and the leader always
+/// drains from the front, so `completed` is a watermark: every id below
+/// it has either committed or failed (failed ids park their error in
+/// `failures` until the owner collects it).
+pub(crate) struct CommitQueue {
+    /// Writes not yet taken by a leader, in id order.
+    pub pending: VecDeque<(u64, PreparedWrite)>,
+    /// Id the next enqueued write receives.
+    pub next_id: u64,
+    /// All ids `< completed` are finished.
+    pub completed: u64,
+    /// Whether some thread is currently committing a group.
+    pub leader_active: bool,
+    /// Errors for completed-but-failed ids, awaiting pickup.
+    pub failures: Vec<(u64, Error)>,
+}
+
+impl CommitQueue {
+    fn new() -> Self {
+        CommitQueue {
+            pending: VecDeque::new(),
+            next_id: 0,
+            completed: 0,
+            leader_active: false,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Removes and returns the parked error for `id`, if it failed.
+    pub fn take_failure(&mut self, id: u64) -> Option<Error> {
+        let at = self.failures.iter().position(|(fid, _)| *fid == id)?;
+        Some(self.failures.swap_remove(at).1)
+    }
+}
+
+/// Signalling shared between the worker pool and the rest of the engine.
+///
+/// Workers hold only this (plus a `Weak` handle to the engine), so the
+/// pool never keeps the database alive on its own.
+pub(crate) struct BgShared {
+    /// Monotonic work-arrival counter; bumped by [`kick`](Self::kick).
+    work: Mutex<u64>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl BgShared {
+    fn new() -> Self {
+        BgShared {
+            work: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Announces that background work may be available.
+    pub fn kick(&self) {
+        *self.work.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the work counter moves past `last_seen`, shutdown is
+    /// requested, or `timeout` elapses. Returns the current counter.
+    pub fn wait_for_work(&self, last_seen: u64, timeout: Duration) -> u64 {
+        let mut work = self.work.lock();
+        if *work == last_seen && !self.is_shutdown() {
+            self.cv.wait_for(&mut work, timeout);
+        }
+        *work
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Touch the mutex so a worker between its shutdown check and its
+        // wait cannot miss the wake.
+        let _work = self.work.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// Per-database concurrency state for wall-clock (real) execution mode.
+pub(crate) struct Runtime {
+    /// Group-commit queue; writers park here and a leader drains it.
+    pub commit: Mutex<CommitQueue>,
+    /// Wakes queued writers when a group completes.
+    pub commit_cv: Condvar,
+    /// Wakes foreground threads waiting on background progress. Paired
+    /// with the engine's state mutex; all waits use timeouts, so
+    /// notifying without that mutex held is safe.
+    pub done_cv: Condvar,
+    /// Worker-pool signalling.
+    pub bg: Arc<BgShared>,
+    /// Largest sequence number visible to readers. Published at the end
+    /// of each commit, read lock-free by `get`/`scan`.
+    visible_seq: AtomicU64,
+    /// Sticky fatal error (WAL append or background job failure). Once
+    /// set, writes and maintenance calls fail with a clone of it rather
+    /// than risk acknowledging writes that recovery would drop.
+    fatal: Mutex<Option<Error>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Creates the runtime with reader visibility starting at `last_seq`.
+    pub fn new(last_seq: SequenceNumber) -> Self {
+        Runtime {
+            commit: Mutex::new(CommitQueue::new()),
+            commit_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            bg: Arc::new(BgShared::new()),
+            visible_seq: AtomicU64::new(last_seq),
+            fatal: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Largest sequence visible to readers.
+    pub fn visible_seq(&self) -> SequenceNumber {
+        self.visible_seq.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new reader-visible sequence watermark.
+    pub fn publish_visible(&self, seq: SequenceNumber) {
+        self.visible_seq.store(seq, Ordering::Release);
+    }
+
+    /// Returns the sticky fatal error, if any.
+    pub fn fatal_error(&self) -> Option<Error> {
+        self.fatal.lock().clone()
+    }
+
+    /// Records a fatal error (first one wins).
+    pub fn set_fatal(&self, err: Error) {
+        let mut slot = self.fatal.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// Registers a spawned worker handle for join-at-drop.
+    pub fn register_worker(&self, handle: JoinHandle<()>) {
+        self.workers.lock().push(handle);
+    }
+
+    /// Signals shutdown and joins all workers (skipping the current
+    /// thread: the last `Arc` holding the database may be dropped *by* a
+    /// worker, which must not join itself).
+    pub fn shutdown_and_join(&self) {
+        self.bg.request_shutdown();
+        let handles = std::mem::take(&mut *self.workers.lock());
+        let me = std::thread::current().id();
+        for handle in handles {
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
+    }
+}

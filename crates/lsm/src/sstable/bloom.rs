@@ -24,7 +24,7 @@ impl BloomFilter {
         let nbits = ((keys.len() as f64 * bpk).ceil() as usize).max(64);
         let nbytes = nbits.div_ceil(8);
         let nbits = nbytes * 8;
-        let num_probes = ((bpk * 0.69315).round() as u32).clamp(1, 30);
+        let num_probes = ((bpk * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
         let mut bits = vec![0u8; nbytes];
         for key in keys {
             let (mut h, delta) = Self::hashes(key);
@@ -83,7 +83,7 @@ impl BloomFilter {
 
     fn hashes(key: &[u8]) -> (u64, u64) {
         let h = fnv1a(key);
-        (h, (h >> 17) | (h << 47) | 1)
+        (h, h.rotate_right(17) | 1)
     }
 }
 

@@ -408,7 +408,7 @@ impl TableReader {
     /// Whether the table may contain `user_key` (always `true` without a
     /// filter).
     pub fn may_contain(&self, user_key: &[u8]) -> bool {
-        self.filter.as_ref().map_or(true, |f| f.may_contain(user_key))
+        self.filter.as_ref().is_none_or(|f| f.may_contain(user_key))
     }
 
     /// Whether the table carries a bloom filter.

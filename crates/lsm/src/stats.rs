@@ -37,9 +37,11 @@ pub enum Ticker {
     TableOpens,
     TableCacheEvictions,
     FilesDeleted,
+    GroupCommits,
+    GroupCommitBatches,
 }
 
-const NUM_TICKERS: usize = 25;
+const NUM_TICKERS: usize = 27;
 
 fn ticker_index(t: Ticker) -> usize {
     t as usize
@@ -72,6 +74,8 @@ pub const TICKER_NAMES: [&str; NUM_TICKERS] = [
     "table_opens",
     "table_cache_evictions",
     "files_deleted",
+    "group_commits",
+    "group_commit_batches",
 ];
 
 /// Thread-safe ticker array.
@@ -127,8 +131,8 @@ impl TickerSnapshot {
     /// Difference against an earlier snapshot (saturating).
     pub fn delta_since(&self, earlier: &TickerSnapshot) -> TickerSnapshot {
         let mut values = [0u64; NUM_TICKERS];
-        for i in 0..NUM_TICKERS {
-            values[i] = self.values[i].saturating_sub(earlier.values[i]);
+        for (v, (now, then)) in values.iter_mut().zip(self.values.iter().zip(&earlier.values)) {
+            *v = now.saturating_sub(*then);
         }
         TickerSnapshot { values }
     }
@@ -321,6 +325,10 @@ mod tests {
     fn ticker_names_align() {
         assert_eq!(TICKER_NAMES.len(), NUM_TICKERS);
         assert_eq!(TICKER_NAMES[ticker_index(Ticker::FilesDeleted)], "files_deleted");
+        assert_eq!(
+            TICKER_NAMES[ticker_index(Ticker::GroupCommitBatches)],
+            "group_commit_batches"
+        );
         assert_eq!(TICKER_NAMES[ticker_index(Ticker::BlockCacheHit)], "block_cache_hit");
     }
 

@@ -136,7 +136,7 @@ impl Version {
         // Restore ordering invariants.
         for (level, lvl) in levels.iter_mut().enumerate() {
             if level == 0 {
-                lvl.sort_by(|a, b| b.number.cmp(&a.number)); // newest first
+                lvl.sort_by_key(|f| std::cmp::Reverse(f.number)); // newest first
             } else {
                 lvl.sort_by(|a, b| {
                     crate::types::internal_key_cmp(a.smallest.encoded(), b.smallest.encoded())

@@ -53,6 +53,30 @@ impl WalWriter {
         Ok(len)
     }
 
+    /// Appends several records with a single buffered file write.
+    ///
+    /// Group commit uses this to land a whole leader-drained batch group
+    /// in one append call; framing is identical to repeated
+    /// [`add_record`](Self::add_record) calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the append fails.
+    pub fn add_records(&mut self, payloads: &[&[u8]]) -> Result<u64> {
+        let total: usize = payloads.iter().map(|p| FRAME_HEADER + p.len()).sum();
+        let mut frames = Vec::with_capacity(total);
+        for payload in payloads {
+            put_fixed32(&mut frames, crc32c(payload));
+            put_fixed32(&mut frames, payload.len() as u32);
+            frames.extend_from_slice(payload);
+        }
+        self.file.append(&frames)?;
+        let len = frames.len() as u64;
+        self.bytes_written += len;
+        self.bytes_since_sync += len;
+        Ok(len)
+    }
+
     /// Durably syncs the log.
     ///
     /// # Errors

@@ -150,8 +150,10 @@ mod tests {
 
     #[test]
     fn delay_scales_with_rate() {
-        let mut opts = Options::default();
-        opts.delayed_write_rate = 1 << 20; // 1 MiB/s
+        let mut opts = Options {
+            delayed_write_rate: 1 << 20, // 1 MiB/s
+            ..Options::default()
+        };
         let c = WriteController::from_options(&opts);
         let d = c.delay_for(1 << 20);
         assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
@@ -163,9 +165,11 @@ mod tests {
 
     #[test]
     fn raised_triggers_remove_throttling() {
-        let mut opts = Options::default();
-        opts.level0_slowdown_writes_trigger = 40;
-        opts.level0_stop_writes_trigger = 60;
+        let opts = Options {
+            level0_slowdown_writes_trigger: 40,
+            level0_stop_writes_trigger: 60,
+            ..Options::default()
+        };
         let c = WriteController::from_options(&opts);
         let p = WritePressure {
             l0_files: 25,

@@ -115,10 +115,12 @@ proptest! {
         bloom in 0.0f64..40.0,
         style in 0usize..3,
     ) {
-        let mut opts = Options::default();
-        opts.write_buffer_size = wbs;
-        opts.max_background_jobs = jobs;
-        opts.bloom_filter_bits_per_key = (bloom * 2.0).round() / 2.0;
+        let mut opts = Options {
+            write_buffer_size: wbs,
+            max_background_jobs: jobs,
+            bloom_filter_bits_per_key: (bloom * 2.0).round() / 2.0,
+            ..Options::default()
+        };
         opts.set_by_name("compaction_style", ["level", "universal", "fifo"][style]).unwrap();
         let ini = lsm_kvs::options::ini::to_ini(&opts);
         let (parsed, outcome) = lsm_kvs::options::ini::from_ini(&ini).unwrap();
@@ -137,10 +139,12 @@ proptest! {
         crash_at in any::<u16>(),
     ) {
         let env = hw_sim::HardwareEnv::builder().build_sim();
-        let mut opts = Options::default();
-        opts.write_buffer_size = 16 << 10; // force flush/compaction churn
-        opts.target_file_size_base = 16 << 10;
-        opts.max_bytes_for_level_base = 64 << 10;
+        let opts = Options {
+            write_buffer_size: 16 << 10, // force flush/compaction churn
+            target_file_size_base: 16 << 10,
+            max_bytes_for_level_base: 64 << 10,
+            ..Options::default()
+        };
 
         let vfs = Arc::new(MemVfs::new());
         let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();

@@ -5,13 +5,17 @@
 //! db_bench --benchmarks fillrandom --num 1000000 --device nvme \
 //!          --cores 4 --mem-gib 4 [--option name=value]...
 //! ```
+//!
+//! With `--real-time`, the run leaves the simulator: the database opens
+//! on real files (a temporary directory) with a wall clock, `--threads N`
+//! OS threads share it, and latencies are measured with `Instant`.
 
 use std::sync::Arc;
 
-use db_bench::{run_benchmark, BenchmarkSpec};
+use db_bench::{run_benchmark, run_benchmark_real, BenchmarkSpec};
 use hw_sim::{DeviceModel, HardwareEnv};
 use lsm_kvs::options::Options;
-use lsm_kvs::vfs::MemVfs;
+use lsm_kvs::vfs::{MemVfs, StdVfs};
 use lsm_kvs::Db;
 
 fn main() {
@@ -30,6 +34,10 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut scale = 0.01f64;
     let mut opts = Options::default();
     let mut options_file: Option<String> = None;
+    let mut real_time = false;
+    let mut threads: Option<usize> = None;
+    let mut sync: Option<bool> = None;
+    let mut db_dir: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -59,10 +67,15 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 opts.set_by_name(k, v)?;
             }
             "--options-file" => options_file = Some(take(&mut i)?),
+            "--real-time" => real_time = true,
+            "--threads" => threads = Some(take(&mut i)?.parse()?),
+            "--sync" => sync = Some(take(&mut i)?.parse()?),
+            "--db" => db_dir = Some(take(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
-                     [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f]"
+                     [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
+                     [--real-time [--threads N] [--sync true|false] [--db dir]]"
                 );
                 return Ok(());
             }
@@ -94,15 +107,49 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 spec.preload_keys = ((spec.preload_keys as f64 * ratio) as u64).max(1_000);
             }
         }
-        let env = HardwareEnv::builder()
-            .cores(cores)
-            .memory_gib(mem_gib)
-            .device(device.clone())
-            .build_sim();
-        let db = Db::open(opts.clone(), &env, Arc::new(MemVfs::new()))?;
-        eprintln!("running {name} on {} ...", env.description());
-        let report = run_benchmark(&db, &env, &spec, None)?;
-        println!("{}", report.to_db_bench_text());
+        if real_time {
+            let n_threads = threads.unwrap_or(1);
+            if let Some(n) = threads {
+                spec.num_threads = n;
+            }
+            // Durable writes are the default in real-time mode: unsynced
+            // single-op writes mostly measure memcpy speed, while synced
+            // writes exercise the group-commit path this mode exists for.
+            let sync = sync.unwrap_or(true);
+            let env = HardwareEnv::builder()
+                .cores(cores)
+                .memory_gib(mem_gib)
+                .device(device.clone())
+                .build_wall();
+            let (dir, ephemeral) = match &db_dir {
+                Some(d) => (d.clone(), false),
+                None => {
+                    let d = std::env::temp_dir()
+                        .join(format!("db_bench-{name}-{}", std::process::id()));
+                    (d.to_string_lossy().into_owned(), true)
+                }
+            };
+            let db = Db::open(opts.clone(), &env, Arc::new(StdVfs::new(&dir)?))?;
+            eprintln!(
+                "running {name} for real: {n_threads} thread(s), sync={sync}, dir={dir} ..."
+            );
+            let report = run_benchmark_real(&db, &spec, n_threads, sync)?;
+            drop(db);
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            println!("{}", report.to_db_bench_text());
+        } else {
+            let env = HardwareEnv::builder()
+                .cores(cores)
+                .memory_gib(mem_gib)
+                .device(device.clone())
+                .build_sim();
+            let db = Db::open(opts.clone(), &env, Arc::new(MemVfs::new()))?;
+            eprintln!("running {name} on {} ...", env.description());
+            let report = run_benchmark(&db, &env, &spec, None)?;
+            println!("{}", report.to_db_bench_text());
+        }
     }
     Ok(())
 }

@@ -32,5 +32,5 @@ mod spec;
 
 pub use keygen::{render_key, KeyDistribution, KeyGenerator, ValueGenerator};
 pub use report::{BenchReport, MonitorControl, MonitorSample};
-pub use runner::run_benchmark;
+pub use runner::{run_benchmark, run_benchmark_real};
 pub use spec::{BenchmarkSpec, MixgraphConfig, WorkloadKind};

@@ -192,7 +192,9 @@ mod tests {
             micros_per_op: 2000.0,
             write_latency: Some(snapshot(6)),
             read_latency: None,
-            tickers: TickerSnapshot { values: [0; 25] },
+            tickers: TickerSnapshot {
+                values: [0; lsm_kvs::TICKER_NAMES.len()],
+            },
             levels: vec![(2, 1 << 20); 7],
             samples: vec![],
             aborted: false,

@@ -82,7 +82,7 @@ pub fn run_benchmark(
                 mem_pressure: util.mem_pressure,
             };
             samples.push(sample);
-            next_sample = next_sample + interval;
+            next_sample += interval;
             if let Some(cb) = monitor.as_deref_mut() {
                 if cb(&sample) == MonitorControl::Stop {
                     aborted = true;
@@ -114,7 +114,7 @@ pub fn run_benchmark(
         if let Some(gap) = threads[idx].pacing_gap(spec, after.saturating_since(start)) {
             let op_latency = after - before;
             if gap > op_latency {
-                after = after + gap.saturating_sub(op_latency);
+                after += gap.saturating_sub(op_latency);
             }
         }
         threads[idx].time = after;
@@ -143,6 +143,117 @@ pub fn run_benchmark(
         levels: stats.levels,
         samples,
         aborted,
+    })
+}
+
+/// Runs `spec` against `db` on real OS threads with wall-clock timing.
+///
+/// This is the measurement path for a [`Db`] opened in real-concurrency
+/// mode (wall clock + `StdVfs`): `threads` OS threads share the database
+/// and issue `spec.num_ops` operations between them, each thread drawing
+/// keys/values from its own generator seeded `spec.seed + t * phi` (the
+/// same per-thread derivation the simulated runner uses). Latencies come
+/// from `std::time::Instant`, not the virtual clock, and per-thread
+/// histograms are merged into the report. `sync` selects durable WAL
+/// writes, which is where group commit earns its keep.
+///
+/// Monitor sampling is not supported here (the report's `samples` list is
+/// empty): the monitor protocol is tied to the simulated timeline.
+///
+/// # Errors
+///
+/// Propagates the first engine error any thread hits (I/O, corruption,
+/// stall timeouts).
+pub fn run_benchmark_real(
+    db: &Db,
+    spec: &BenchmarkSpec,
+    threads: usize,
+    sync: bool,
+) -> Result<BenchReport> {
+    use lsm_kvs::{WriteBatch, WriteOptions};
+
+    if spec.preload_keys > 0 {
+        preload(db, spec)?;
+    }
+
+    let tickers_before = db.stats().tickers;
+    let threads = threads.max(1);
+    let write_opts = if sync {
+        WriteOptions::synced()
+    } else {
+        WriteOptions::default()
+    };
+
+    let start = std::time::Instant::now();
+    let per_thread: Vec<Result<(Histogram, Histogram, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let write_opts = write_opts.clone();
+                let ops = spec.num_ops / threads as u64
+                    + u64::from((t as u64) < spec.num_ops % threads as u64);
+                scope.spawn(move || -> Result<(Histogram, Histogram, u64)> {
+                    let mut state = ThreadState::new(spec, t as u64, SimTime::ZERO);
+                    let mut write_hist = Histogram::new();
+                    let mut read_hist = Histogram::new();
+                    let mut found = 0u64;
+                    for _ in 0..ops {
+                        match state.next_op(spec) {
+                            Op::Put(key, value) => {
+                                let mut batch = WriteBatch::with_capacity(1);
+                                batch.put(&key, &value);
+                                let before = std::time::Instant::now();
+                                db.write_opt(&write_opts, batch)?;
+                                write_hist
+                                    .record(SimDuration::from_secs_f64(before.elapsed().as_secs_f64()));
+                            }
+                            Op::Get(key) => {
+                                let before = std::time::Instant::now();
+                                if db.get(&key)?.is_some() {
+                                    found += 1;
+                                }
+                                read_hist
+                                    .record(SimDuration::from_secs_f64(before.elapsed().as_secs_f64()));
+                            }
+                        }
+                    }
+                    Ok((write_hist, read_hist, found))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread panicked"))
+            .collect()
+    });
+    let duration = SimDuration::from_secs_f64(start.elapsed().as_secs_f64());
+
+    let mut write_hist = Histogram::new();
+    let mut read_hist = Histogram::new();
+    let mut found = 0u64;
+    for r in per_thread {
+        let (w, rd, f) = r?;
+        write_hist.merge(&w);
+        read_hist.merge(&rd);
+        found += f;
+    }
+    let total_ops = write_hist.count() + read_hist.count();
+
+    let stats = db.stats();
+    let tickers = stats.tickers.delta_since(&tickers_before);
+    Ok(BenchReport {
+        workload: spec.workload.name().to_string(),
+        short_name: spec.workload.short_name().to_string(),
+        ops: total_ops,
+        found,
+        duration,
+        ops_per_sec: total_ops as f64 / duration.as_secs_f64().max(1e-9),
+        micros_per_op: duration.as_micros_f64() / total_ops.max(1) as f64,
+        write_latency: (write_hist.count() > 0).then(|| write_hist.snapshot()),
+        read_latency: (read_hist.count() > 0).then(|| read_hist.snapshot()),
+        tickers,
+        levels: stats.levels,
+        samples: Vec::new(),
+        aborted: false,
     })
 }
 
@@ -218,7 +329,7 @@ impl ThreadState {
             WorkloadKind::FillRandom => Op::Put(self.keygen.next_key(), self.valuegen.next_value()),
             WorkloadKind::ReadRandom => Op::Get(self.keygen.next_key()),
             WorkloadKind::ReadRandomWriteRandom => {
-                if self.rng.gen_range(0..100) < spec.read_percent {
+                if self.rng.gen_range(0..100u32) < spec.read_percent {
                     Op::Get(self.keygen.next_key())
                 } else {
                     Op::Put(self.keygen.next_key(), self.valuegen.next_value())
@@ -269,11 +380,12 @@ mod tests {
     }
 
     fn small_opts() -> Options {
-        let mut o = Options::default();
-        o.write_buffer_size = 256 << 10;
-        o.target_file_size_base = 256 << 10;
-        o.max_bytes_for_level_base = 1 << 20;
-        o
+        Options {
+            write_buffer_size: 256 << 10,
+            target_file_size_base: 256 << 10,
+            max_bytes_for_level_base: 1 << 20,
+            ..Options::default()
+        }
     }
 
     fn tiny(mut spec: BenchmarkSpec, ops: u64) -> BenchmarkSpec {

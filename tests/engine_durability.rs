@@ -16,11 +16,12 @@ fn env() -> HardwareEnv {
 }
 
 fn churn_opts() -> Options {
-    let mut o = Options::default();
-    o.write_buffer_size = 64 << 10;
-    o.target_file_size_base = 64 << 10;
-    o.max_bytes_for_level_base = 256 << 10;
-    o
+    Options {
+        write_buffer_size: 64 << 10,
+        target_file_size_base: 64 << 10,
+        max_bytes_for_level_base: 256 << 10,
+        ..Options::default()
+    }
 }
 
 #[test]

@@ -75,11 +75,13 @@ fn hdd_suffers_more_than_nvme_on_the_same_mixed_workload() {
 #[test]
 fn compaction_readahead_helps_hdd_writes() {
     let spec = small(BenchmarkSpec::fillrandom(1.0), 120_000);
-    let mut small_ra = Options::default();
-    small_ra.write_buffer_size = 1 << 20; // force frequent flush/compaction
-    small_ra.target_file_size_base = 1 << 20;
-    small_ra.max_bytes_for_level_base = 4 << 20;
-    small_ra.compaction_readahead_size = 128 << 10;
+    let small_ra = Options {
+        write_buffer_size: 1 << 20, // force frequent flush/compaction
+        target_file_size_base: 1 << 20,
+        max_bytes_for_level_base: 4 << 20,
+        compaction_readahead_size: 128 << 10,
+        ..Options::default()
+    };
     let mut big_ra = small_ra.clone();
     big_ra.compaction_readahead_size = 8 << 20;
 
@@ -96,11 +98,13 @@ fn compaction_readahead_helps_hdd_writes() {
 #[test]
 fn more_write_buffers_absorb_bursts() {
     let spec = small(BenchmarkSpec::fillrandom(1.0), 120_000);
-    let mut tight = Options::default();
-    tight.write_buffer_size = 1 << 20;
-    tight.target_file_size_base = 1 << 20;
-    tight.max_bytes_for_level_base = 4 << 20;
-    tight.max_write_buffer_number = 2;
+    let tight = Options {
+        write_buffer_size: 1 << 20,
+        target_file_size_base: 1 << 20,
+        max_bytes_for_level_base: 4 << 20,
+        max_write_buffer_number: 2,
+        ..Options::default()
+    };
     let mut roomy = tight.clone();
     roomy.max_write_buffer_number = 6;
     roomy.min_write_buffer_number_to_merge = 2;
@@ -118,11 +122,13 @@ fn more_write_buffers_absorb_bursts() {
 #[test]
 fn fewer_cores_slow_background_heavy_workloads() {
     let spec = small(BenchmarkSpec::fillrandom(1.0), 150_000);
-    let mut opts = Options::default();
-    opts.write_buffer_size = 1 << 20;
-    opts.target_file_size_base = 1 << 20;
-    opts.max_bytes_for_level_base = 4 << 20;
-    opts.max_background_jobs = 8;
+    let opts = Options {
+        write_buffer_size: 1 << 20,
+        target_file_size_base: 1 << 20,
+        max_bytes_for_level_base: 4 << 20,
+        max_background_jobs: 8,
+        ..Options::default()
+    };
     let two = run(&spec, opts.clone(), 2, 8, DeviceModel::nvme_ssd());
     let eight = run(&spec, opts, 8, 8, DeviceModel::nvme_ssd());
     assert!(
@@ -137,11 +143,13 @@ fn fewer_cores_slow_background_heavy_workloads() {
 fn memory_overcommit_thrashes() {
     let spec = small(BenchmarkSpec::fillrandom(1.0), 40_000);
     let sane = Options::default();
-    let mut greedy = Options::default();
     // Cache + buffers far beyond a 1 GiB budget.
-    greedy.block_cache_size = 3 << 30;
-    greedy.write_buffer_size = 512 << 20;
-    greedy.max_write_buffer_number = 8;
+    let greedy = Options {
+        block_cache_size: 3 << 30,
+        write_buffer_size: 512 << 20,
+        max_write_buffer_number: 8,
+        ..Options::default()
+    };
 
     let sane_report = run(&spec, sane, 4, 1, DeviceModel::nvme_ssd());
     // The greedy config reserves cache memory only as blocks arrive, so
@@ -158,10 +166,12 @@ fn memory_overcommit_thrashes() {
 #[test]
 fn compression_trades_cpu_for_io() {
     let spec = small(BenchmarkSpec::fillrandom(1.0), 100_000);
-    let mut none = Options::default();
-    none.write_buffer_size = 1 << 20;
-    none.target_file_size_base = 1 << 20;
-    none.max_bytes_for_level_base = 4 << 20;
+    let mut none = Options {
+        write_buffer_size: 1 << 20,
+        target_file_size_base: 1 << 20,
+        max_bytes_for_level_base: 4 << 20,
+        ..Options::default()
+    };
     none.set_by_name("compression", "none").unwrap();
     let mut zstd = none.clone();
     zstd.set_by_name("compression", "zstd").unwrap();

@@ -1,0 +1,242 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the criterion surface its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros (including the `name/config/targets` form). Measurement is
+//! deliberately simple — a warm-up pass then `sample_size` timed samples,
+//! reporting the median per-iteration time and derived throughput —
+//! enough to compare configurations, not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder form).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration, for throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Amount of work per iteration, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timed routine call in
+/// [`Bencher::iter_batched`]. The vendored runner treats all variants
+/// identically (setup runs outside the timed section either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every call.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-call inputs built by `setup` (setup time
+    /// is excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Prevents the compiler from optimizing away a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: run single iterations until we know roughly how long one
+    // takes, then budget ~2ms of work per sample, capped for slow bodies.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos())
+        .clamp(1, 10_000) as u64;
+
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_nanos.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_nanos.sort_by(f64::total_cmp);
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.0} elem/s)", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.1} MiB/s)", n as f64 * 1e9 / median / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("bench {name}: {median:.0} ns/iter{rate} [{samples} samples x {iters_per_sample} iters]");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("f", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serialization framework under the `serde`
+//! name. Instead of upstream's visitor architecture, types convert to and
+//! from a self-describing [`Value`] tree; the companion `serde_derive`
+//! proc-macro generates those conversions for the struct/enum shapes this
+//! workspace uses, and the vendored `serde_json` renders `Value` to and
+//! from JSON text. The supported attribute surface is exactly what the
+//! workspace needs: `#[serde(rename_all = "lowercase")]` on unit enums and
+//! `#[serde(skip_serializing_if = "Option::is_none")]` on `Option` fields
+//! (the derive omits every `None` field, which subsumes the latter).
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value tree (the data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / `Option::None`. Omitted from maps when serializing.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (also carries `u64` values above `i64::MAX`).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with insertion-ordered string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing from any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for a struct field absent from the serialized map.
+    /// Defaults to an error; `Option<T>` overrides it to produce `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] unless the type tolerates absence.
+    fn from_missing() -> Result<Self, DeError> {
+        Err(DeError::msg("missing required field"))
+    }
+}
+
+/// Field lookup used by derived `Deserialize` impls: absent keys fall
+/// back to [`Deserialize::from_missing`], unknown keys are ignored.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error.
+pub fn field_from_map<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::msg(format!("field `{name}`: {e}"))),
+        None => T::from_missing().map_err(|_| DeError::msg(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!((f64::from_value(&1.5f64.to_value()).unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_missing_is_none() {
+        assert_eq!(Option::<u32>::from_missing().unwrap(), None);
+        assert!(u32::from_missing().is_err());
+    }
+
+    #[test]
+    fn numeric_coercion_between_int_shapes() {
+        // JSON "2" parses as UInt but deserializes into floats and signed.
+        assert_eq!(f64::from_value(&Value::UInt(2)).unwrap(), 2.0);
+        assert_eq!(i32::from_value(&Value::UInt(2)).unwrap(), 2);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let m = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(field_from_map::<u64>(&m, "a").unwrap(), 1);
+        assert_eq!(field_from_map::<Option<u64>>(&m, "b").unwrap(), None);
+        assert!(field_from_map::<u64>(&m, "b").is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline derive macros for the vendored `serde` subset.
+//!
+//! Upstream `serde_derive` depends on `syn`/`quote`, which are not
+//! available in this offline build environment. This implementation parses
+//! the item's raw token stream directly (no external parser) and generates
+//! `serde::Serialize` / `serde::Deserialize` impls against the vendored
+//! value-tree data model. Supported shapes — the only ones this workspace
+//! derives on — are:
+//!
+//! * structs with named fields (unknown keys ignored, `Option` fields
+//!   omitted when `None` and tolerated when absent),
+//! * newtype tuple structs (serialize as the inner value),
+//! * enums whose variants are unit or newtype (externally tagged:
+//!   `"Variant"` or `{"Variant": ...}`), with
+//!   `#[serde(rename_all = "lowercase")]` honored on the container.
+//!
+//! Anything else panics at macro-expansion time with a clear message, so a
+//! future unsupported use fails the build loudly instead of mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    lowercase_variants: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut lowercase_variants = false;
+
+    // Leading attributes and visibility.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let attr = g.stream().to_string();
+                    if attr.starts_with("serde")
+                        && attr.contains("rename_all")
+                        && attr.contains("lowercase")
+                    {
+                        lowercase_variants = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => i += 1,
+            None => panic!("serde derive: no struct/enum keyword found"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            } else {
+                Shape::Named(parse_named_fields(g.stream(), &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            let n = count_tuple_fields(g.stream());
+            if n != 1 {
+                panic!(
+                    "serde derive (vendored): tuple struct `{name}` has {n} fields; \
+                     only newtype (1-field) tuple structs are supported"
+                );
+            }
+            Shape::Newtype
+        }
+        other => panic!("serde derive (vendored): unsupported item body for `{name}`: {other:?}"),
+    };
+
+    Item {
+        name,
+        lowercase_variants,
+        shape,
+    }
+}
+
+/// Advances past any `#[...]` attributes starting at `*i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // '#' plus the bracket group
+    }
+}
+
+/// Advances past `pub` / `pub(...)` starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde derive: expected field name in `{type_name}`, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive: expected `:` after field `{field}` in `{type_name}`"
+        );
+        i += 1;
+        // Skip the type: angle-bracket depth tracking because generics are
+        // punct sequences, not groups, in a raw token stream.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde derive: expected variant in `{type_name}`, found {other:?}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde derive (vendored): struct variant `{type_name}::{name}` \
+                     is not supported"
+                );
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!(
+                "serde derive (vendored): explicit discriminant on `{type_name}::{name}` \
+                 is not supported"
+            );
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn wire_name(item: &Item, variant: &str) -> String {
+    if item.lowercase_variants {
+        variant.to_lowercase()
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "{{ let v = ::serde::Serialize::to_value(&self.{f}); \
+                     if !matches!(v, ::serde::Value::Null) {{ \
+                     entries.push((\"{f}\".to_string(), v)); }} }}\n"
+                ));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(entries)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(item, &v.name);
+                let vn = &v.name;
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{vn}(inner) => ::serde::Value::Map(vec![\
+                         (\"{wire}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{wire}\".to_string()),\n"
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::field_from_map(entries, \"{f}\")?,\n"
+                ));
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Map(entries) => Ok({name} {{\n{inits}}}),\n\
+                 _ => Err(::serde::DeError::msg(\"expected map for {name}\")),\n}}"
+            )
+        }
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let wire = wire_name(item, &v.name);
+                let vn = &v.name;
+                if v.has_payload {
+                    payload_arms.push_str(&format!(
+                        "\"{wire}\" => Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(&entries[0].1)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!("\"{wire}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => \
+                 match entries[0].0.as_str() {{\n{payload_arms}\
+                 other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 _ => Err(::serde::DeError::msg(\"expected {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
