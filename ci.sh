@@ -17,4 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> concurrency stress tests (120s timeout)"
 timeout 120 cargo test -q -p lsm-kvs --test concurrency
 
+echo "==> crash-recovery gate: 25 wall-clock power-cut cycles (120s timeout)"
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "$CRASH_DIR"' EXIT
+timeout 120 ./target/release/db_bench --crash-loop 25 --db "$CRASH_DIR"
+
 echo "CI OK"

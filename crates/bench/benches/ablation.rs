@@ -140,7 +140,7 @@ fn bench_bloom_cache_split(c: &mut Criterion) {
             block_cache_size: cache_mb << 20,
             ..Options::default()
         };
-        let db = Db::open_sim(opts, &env).unwrap();
+        let db = Db::builder(opts).env(&env).open().unwrap();
         run_benchmark(&db, &env, &spec, None).unwrap().ops_per_sec
     };
     let mut printed = false;

@@ -20,7 +20,7 @@ fn bench_put(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("sequential_keys", |b| {
         let env = env();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -41,7 +41,7 @@ fn bench_get(c: &mut Criterion) {
         bloom_filter_bits_per_key: 10.0,
         ..Options::default()
     };
-    let db = Db::open_sim(opts, &env).unwrap();
+    let db = Db::builder(opts).env(&env).open().unwrap();
     for i in 0..50_000u64 {
         db.put(format!("key-{i:012}").as_bytes(), &[7u8; 100]).unwrap();
     }
@@ -66,7 +66,7 @@ fn bench_get(c: &mut Criterion) {
 fn bench_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/scan");
     let env = env();
-    let db = Db::open_sim(Options::default(), &env).unwrap();
+    let db = Db::builder(Options::default()).env(&env).open().unwrap();
     for i in 0..20_000u64 {
         db.put(format!("key-{i:012}").as_bytes(), &[1u8; 100]).unwrap();
     }

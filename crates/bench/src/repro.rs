@@ -398,7 +398,7 @@ fn calibrate(config: &ReproConfig) -> Result<(), Error> {
             .memory_gib(gib)
             .device(device)
             .build_sim();
-        let db = Db::open_sim(Options::default(), &env)?;
+        let db = Db::builder(Options::default()).env(&env).open()?;
         let report = run_benchmark(&db, &env, &spec, None)?;
         println!(
             "{name:16} ops={:8} tput={:9.0} ops/s  p99w={:8.2}us p99r={:8.2}us  sim={:7.1}s wall={:5.1}s",

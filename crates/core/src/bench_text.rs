@@ -203,7 +203,7 @@ Percentiles: P50: 200 P75: 800 P99: 1463.61 P99.9: 3000
         use db_bench::{run_benchmark, BenchmarkSpec};
         use lsm_kvs::{options::Options, Db};
         let env = hw_sim::HardwareEnv::builder().build_sim();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         let mut spec = BenchmarkSpec::fillrandom(1.0);
         spec.num_ops = 2_000;
         spec.key_space = 2_000;

@@ -372,7 +372,7 @@ impl<'m> TuningSession<'m> {
             let env = env_spec.build();
             let vfs = MemVfs::new();
             {
-                let db = Db::open(start.clone(), &env, Arc::new(vfs.clone()))?;
+                let db = Db::builder(start.clone()).env(&env).vfs(Arc::new(vfs.clone())).open()?;
                 let mut preload_spec = spec.clone();
                 preload_spec.num_ops = 0;
                 run_benchmark(&db, &env, &preload_spec, None)?;
@@ -395,7 +395,7 @@ impl<'m> TuningSession<'m> {
          -> Result<(ParsedBench, BenchReport, HardwareEnv), SessionError> {
             let env = env_spec.build();
             let vfs: MemVfs = base_vfs.as_ref().map(MemVfs::fork).unwrap_or_default();
-            let db = Db::open(opts.clone(), &env, Arc::new(vfs))?;
+            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(vfs)).open()?;
             let mut early = reference
                 .filter(|_| config.early_stop)
                 .map(EarlyStopMonitor::new);

@@ -96,7 +96,7 @@ impl WriteBatch {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] on any structural violation.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on any structural violation.
     pub fn decode(data: &[u8]) -> Result<(SequenceNumber, WriteBatch)> {
         let first_seq =
             get_fixed64(data, 0).ok_or_else(|| Error::corruption("batch: short header"))?;

@@ -17,7 +17,7 @@
 //! compactions run on a pool of background OS threads honoring
 //! `max_background_jobs`, and reads traverse immutable snapshots
 //! (`Arc`ed memtables and versions) without holding the state mutex for
-//! the lookup. The mode is selected once at [`Db::open`] from the
+//! the lookup. The mode is selected once at [`Db::builder`] from the
 //! environment's clock; simulation behavior is byte-identical to before
 //! the runtime existed.
 
@@ -49,6 +49,7 @@ use crate::wal::{replay_wal, WalWriter};
 use crate::write_controller::{WriteController, WritePressure, WriteRegime};
 
 const CURRENT_FILE: &str = "CURRENT";
+const CURRENT_TMP_FILE: &str = "CURRENT.tmp";
 
 fn wal_file_name(number: u64) -> String {
     format!("{number:06}.log")
@@ -56,6 +57,18 @@ fn wal_file_name(number: u64) -> String {
 
 fn manifest_file_name(number: u64) -> String {
     format!("MANIFEST-{number:06}")
+}
+
+/// Atomically points `CURRENT` at `manifest_name`: write a temp file,
+/// sync it, then rename over. A crash at any point leaves either the old
+/// or the new pointer — never a torn/empty `CURRENT`.
+fn write_current(vfs: &dyn Vfs, manifest_name: &str) -> Result<()> {
+    let mut tmp = vfs.create(CURRENT_TMP_FILE)?;
+    tmp.append(manifest_name.as_bytes())?;
+    tmp.sync()?;
+    tmp.finish()?;
+    drop(tmp);
+    vfs.rename(CURRENT_TMP_FILE, CURRENT_FILE)
 }
 
 /// Foreground/background cost constants (reference-core nanoseconds).
@@ -215,6 +228,15 @@ pub struct DbStats {
     pub running_background_jobs: usize,
     /// Last sequence number assigned.
     pub last_sequence: SequenceNumber,
+    /// Background jobs that hit a transient error and were retried
+    /// instead of aborting.
+    pub background_retries: u64,
+    /// WAL files rotated after a transient append failure.
+    pub wal_rotations: u64,
+    /// Manifest append/sync operations re-driven after a transient error.
+    pub manifest_resyncs: u64,
+    /// WAL syncs re-driven after a transient error.
+    pub wal_sync_retries: u64,
 }
 
 impl DbStats {
@@ -248,6 +270,33 @@ impl WriteOptions {
     }
 }
 
+/// Per-read options (RocksDB `ReadOptions` analog), consumed by
+/// [`Db::get_opt`] and [`Db::scan_opt`]. Plain [`Db::get`]/[`Db::scan`]
+/// use the defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions {
+    /// Verify block checksums on every read that misses the block cache.
+    /// Disabling trades integrity checking for CPU.
+    pub verify_checksums: bool,
+    /// Insert blocks read on a cache miss into the block cache. Disable
+    /// for one-off scans that would wipe the working set.
+    pub fill_cache: bool,
+    /// Read as of this sequence number instead of the latest visible
+    /// one. Clamped to the currently visible watermark; `None` reads the
+    /// newest visible state.
+    pub snapshot_seq: Option<SequenceNumber>,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            verify_checksums: true,
+            fill_cache: true,
+            snapshot_seq: None,
+        }
+    }
+}
+
 /// Upper bound on batches coalesced into one commit group.
 const MAX_GROUP_BATCHES: usize = 128;
 
@@ -256,6 +305,12 @@ const REAL_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Wait slice for foreground threads blocked on background progress.
 const REAL_WAIT_SLICE: Duration = Duration::from_millis(20);
+
+/// Bounded retries for manifest append/sync on transient errors.
+const MANIFEST_RETRIES: u32 = 5;
+
+/// Bounded re-sync attempts for an acknowledged-append WAL sync.
+const WAL_SYNC_RETRIES: u32 = 3;
 
 struct DbInner {
     opts: Options,
@@ -271,6 +326,14 @@ struct DbInner {
     runtime: Option<Runtime>,
     /// Number of live user-facing [`Db`] handles (workers hold `Weak`s).
     handles: std::sync::atomic::AtomicUsize,
+    /// Background jobs retried (parked, not aborted) on transient errors.
+    bg_retries: std::sync::atomic::AtomicU64,
+    /// WAL rotations after transient append failures.
+    wal_rotations: std::sync::atomic::AtomicU64,
+    /// Manifest append/sync attempts re-driven on transient errors.
+    manifest_resyncs: std::sync::atomic::AtomicU64,
+    /// Acknowledged-append WAL syncs re-driven on transient errors.
+    wal_sync_retries: std::sync::atomic::AtomicU64,
 }
 
 impl Drop for DbInner {
@@ -329,19 +392,118 @@ impl Drop for Db {
     }
 }
 
+/// Fluent constructor for [`Db`], created by [`Db::builder`].
+///
+/// ```
+/// use lsm_kvs::{Db, FaultConfig, options::Options};
+///
+/// // Defaults: in-memory VFS, simulated 4-core / 8 GiB NVMe environment.
+/// let db = Db::builder(Options::default()).open().unwrap();
+/// db.put(b"k", b"v").unwrap();
+///
+/// // With fault injection layered over the chosen VFS:
+/// let builder = Db::builder(Options::default()).fault_injection(FaultConfig::default());
+/// let faults = builder.fault_vfs().unwrap();
+/// let db = builder.open().unwrap();
+/// db.put(b"k", b"v").unwrap();
+/// assert_eq!(faults.injected_errors(), 0);
+/// ```
+#[derive(Debug)]
+pub struct DbBuilder {
+    opts: Options,
+    env: Option<HardwareEnv>,
+    vfs: Option<Arc<dyn Vfs>>,
+    fault: Option<crate::fault::FaultInjectionVfs>,
+}
+
+impl DbBuilder {
+    /// Sets the hardware environment (defaults to a simulated
+    /// 4-core / 8 GiB NVMe environment). The environment's clock selects
+    /// the execution mode: simulated clock → discrete-event mode, wall
+    /// clock → real-concurrency mode.
+    #[must_use]
+    pub fn env(mut self, env: &HardwareEnv) -> Self {
+        self.env = Some(env.clone());
+        self
+    }
+
+    /// Sets the backing VFS (defaults to a fresh [`MemVfs`]).
+    ///
+    /// Call before [`fault_injection`](Self::fault_injection): the fault
+    /// layer wraps whatever VFS is configured when it is added.
+    #[must_use]
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Wraps the configured VFS in a [`FaultInjectionVfs`](crate::FaultInjectionVfs)
+    /// with `cfg`. Retrieve the handle with [`fault_vfs`](Self::fault_vfs)
+    /// to drive power cuts and error bursts from the outside.
+    #[must_use]
+    pub fn fault_injection(mut self, cfg: crate::fault::FaultConfig) -> Self {
+        let base = self
+            .vfs
+            .take()
+            .unwrap_or_else(|| Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
+        let fault = crate::fault::FaultInjectionVfs::with_config(base, cfg);
+        self.vfs = Some(Arc::new(fault.clone()) as Arc<dyn Vfs>);
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The fault-injection handle, when [`fault_injection`](Self::fault_injection)
+    /// was configured. Clone it before [`open`](Self::open).
+    pub fn fault_vfs(&self) -> Option<crate::fault::FaultInjectionVfs> {
+        self.fault.clone()
+    }
+
+    /// Opens (creating or recovering) the database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for
+    /// inconsistent options and I/O/corruption errors from recovery.
+    pub fn open(self) -> Result<Db> {
+        let env = self
+            .env
+            .unwrap_or_else(|| HardwareEnv::builder().build_sim());
+        let vfs = self
+            .vfs
+            .unwrap_or_else(|| Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
+        Db::open_impl(self.opts, &env, vfs)
+    }
+}
+
 impl Db {
+    /// Starts building a database handle; see [`DbBuilder`].
+    pub fn builder(opts: Options) -> DbBuilder {
+        DbBuilder {
+            opts,
+            env: None,
+            vfs: None,
+            fault: None,
+        }
+    }
+
+    /// Opens (creating or recovering) a database on `vfs` under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for inconsistent options and
+    /// I/O/corruption errors from recovery.
+    #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).vfs(vfs).open()`")]
+    pub fn open(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
+        Self::open_impl(opts, env, vfs)
+    }
+
     /// Opens (creating or recovering) a database on `vfs` under `env`.
     ///
     /// The execution mode follows the environment's clock: a simulated
     /// clock selects the single-threaded discrete-event mode, a wall
     /// clock selects real-concurrency mode (group commit + background
     /// worker pool).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidArgument`] for inconsistent options and
-    /// I/O/corruption errors from recovery.
-    pub fn open(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
+    fn open_impl(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
         opts.validate()?;
         let controller = WriteController::from_options(&opts);
         let block_cache = if opts.no_block_cache {
@@ -376,6 +538,10 @@ impl Db {
                 controller,
                 runtime,
                 handles: std::sync::atomic::AtomicUsize::new(1),
+                bg_retries: std::sync::atomic::AtomicU64::new(0),
+                wal_rotations: std::sync::atomic::AtomicU64::new(0),
+                manifest_resyncs: std::sync::atomic::AtomicU64::new(0),
+                wal_sync_retries: std::sync::atomic::AtomicU64::new(0),
             }),
         };
         if let Some(rt) = &db.inner.runtime {
@@ -398,9 +564,10 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidArgument`] for inconsistent options.
+    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for inconsistent options.
+    #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).open()`")]
     pub fn open_sim(opts: Options, env: &HardwareEnv) -> Result<Db> {
-        Self::open(opts, env, Arc::new(MemVfs::new()))
+        Self::open_impl(opts, env, Arc::new(MemVfs::new()))
     }
 
     /// The options this database runs with.
@@ -427,9 +594,7 @@ impl Db {
         };
         manifest.add_record(&edit.encode())?;
         manifest.sync()?;
-        let mut current = vfs.create(CURRENT_FILE)?;
-        current.append(manifest_file_name(manifest_number).as_bytes())?;
-        current.finish()?;
+        write_current(vfs, &manifest_file_name(manifest_number))?;
 
         let wal = if opts.disable_wal {
             None
@@ -536,9 +701,23 @@ impl Db {
         let mut manifest = WalWriter::new(vfs.create(&manifest_file_name(manifest_number))?);
         manifest.add_record(&snapshot.encode())?;
         manifest.sync()?;
-        let mut current = vfs.create(CURRENT_FILE)?;
-        current.append(manifest_file_name(manifest_number).as_bytes())?;
-        current.finish()?;
+
+        // Re-log the recovered entries into the new WAL and make them
+        // durable *before* switching CURRENT or deleting anything: until
+        // the pointer flips, a crash recovers from the old manifest and
+        // the old logs; after it flips, the new manifest + new WAL hold
+        // everything.
+        let wal = if opts.disable_wal {
+            None
+        } else {
+            let mut writer = WalWriter::new(vfs.create(&wal_file_name(wal_number))?);
+            for record in &replayed_records {
+                writer.add_record(record)?;
+            }
+            writer.sync()?;
+            Some(writer)
+        };
+        write_current(vfs, &manifest_file_name(manifest_number))?;
 
         // 4. Garbage-collect obsolete files from before the crash.
         let live: std::collections::HashSet<u64> =
@@ -561,19 +740,6 @@ impl Db {
                 let _ = vfs.delete(&name);
             }
         }
-
-        let wal = if opts.disable_wal {
-            None
-        } else {
-            let mut writer = WalWriter::new(vfs.create(&wal_file_name(wal_number))?);
-            // Re-log the recovered entries so they survive another crash
-            // even though their original logs are deleted below.
-            for record in &replayed_records {
-                writer.add_record(record)?;
-            }
-            writer.sync()?;
-            Some(writer)
-        };
         let pending = pending_compaction_bytes(opts, &version);
         Ok(DbState {
             mem: Arc::new(RwLock::new(mem)),
@@ -604,7 +770,7 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// Propagates WAL/flush I/O errors and [`ErrorKind::Busy`](crate::ErrorKind) if the write
     /// stall cannot clear.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::with_capacity(1);
@@ -627,7 +793,7 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// Propagates WAL/flush I/O errors and [`ErrorKind::Busy`](crate::ErrorKind) if the write
     /// stall cannot clear.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
         self.write_opt(&WriteOptions::default(), batch)
@@ -644,7 +810,7 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Propagates WAL/flush I/O errors and [`Error::Busy`] if the write
+    /// Propagates WAL/flush I/O errors and [`ErrorKind::Busy`](crate::ErrorKind) if the write
     /// stall cannot clear.
     pub fn write_opt(&self, write_opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
@@ -671,7 +837,7 @@ impl Db {
         loop {
             guard += 1;
             if guard > 100_000 {
-                return Err(Error::Busy("write stall did not clear".into()));
+                return Err(Error::busy("write stall did not clear"));
             }
             let regime = inner.controller.regime(&inner.pressure(&state));
             match regime {
@@ -720,7 +886,15 @@ impl Db {
             let record = batch.encode(first_seq);
             let record_len = record.len() as u64;
             let wal = state.wal.as_mut().expect("wal enabled");
-            wal.add_record(&record)?;
+            if let Err(e) = wal.add_record(&record) {
+                if e.is_retryable() {
+                    // The append is atomic at the VFS layer, so a transient
+                    // failure left the log at a clean frame boundary: rotate
+                    // to a fresh WAL and fail only this write.
+                    inner.rotate_wal(&mut state)?;
+                }
+                return Err(e);
+            }
             inner.tickers.add(Ticker::WalBytes, record_len);
             cpu += inner.cost.wal_record_cpu
                 + SimDuration::from_nanos(
@@ -872,6 +1046,15 @@ impl Db {
     ///
     /// Propagates I/O and corruption errors from table reads.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_opt(&ReadOptions::default(), key)
+    }
+
+    /// Reads the newest value for `key` under explicit [`ReadOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn get_opt(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let inner = &*self.inner;
         let (mem, imm, version, snapshot) = {
             let mut state = inner.state.lock();
@@ -896,6 +1079,9 @@ impl Db {
                 },
             )
         };
+        // An explicit snapshot can only look backwards: clamp it to the
+        // visible watermark so a stale handle never reads uncommitted state.
+        let snapshot = ropts.snapshot_seq.map_or(snapshot, |s| s.min(snapshot));
 
         let mut cpu = inner.cost.get_base_cpu + inner.cost.memtable_probe_cpu;
         let mut found: Option<Option<Vec<u8>>> = None;
@@ -929,7 +1115,7 @@ impl Db {
         }
         if found.is_none() {
             inner.tickers.inc(Ticker::MemtableMiss);
-            found = inner.search_tables(&version, key, snapshot, &mut cpu)?;
+            found = inner.search_tables(&version, key, snapshot, ropts, &mut cpu)?;
         }
 
         let mut factor = inner.foreground_contention(inner.env.clock().now());
@@ -961,6 +1147,16 @@ impl Db {
     ///
     /// Propagates I/O and corruption errors from table reads.
     pub fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        self.scan_opt(&ReadOptions::default(), start, count)
+    }
+
+    /// Scans forward from `start` under explicit [`ReadOptions`],
+    /// returning up to `count` live entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn scan_opt(&self, ropts: &ReadOptions, start: &[u8], count: usize) -> Result<ScanResult> {
         let inner = &*self.inner;
         let (mem, imm, version, snapshot) = {
             let mut state = inner.state.lock();
@@ -983,6 +1179,8 @@ impl Db {
             )
         };
 
+        let snapshot = ropts.snapshot_seq.map_or(snapshot, |s| s.min(snapshot));
+
         let target = crate::types::lookup_key(start, snapshot);
         let mut cursors: Vec<Box<dyn ScanCursor>> = Vec::new();
         cursors.push(Box::new(LockedMemCursor::new(mem, target.encoded())));
@@ -991,7 +1189,12 @@ impl Db {
         }
         for f in version.files(0) {
             if f.largest.user_key() >= start {
-                cursors.push(Box::new(FileCursor::open(inner, Arc::clone(f), target.encoded())?));
+                cursors.push(Box::new(FileCursor::open(
+                    inner,
+                    Arc::clone(f),
+                    target.encoded(),
+                    *ropts,
+                )?));
             }
         }
         for level in 1..version.num_levels() {
@@ -1002,7 +1205,12 @@ impl Db {
                 .cloned()
                 .collect();
             if !files.is_empty() {
-                cursors.push(Box::new(LevelCursor::open(inner, files, target.encoded())?));
+                cursors.push(Box::new(LevelCursor::open(
+                    inner,
+                    files,
+                    target.encoded(),
+                    *ropts,
+                )?));
             }
         }
 
@@ -1253,6 +1461,18 @@ impl Db {
             pending_compaction_bytes: state.pending_compaction_bytes,
             running_background_jobs: state.running_flushes + state.running_compactions,
             last_sequence: state.last_seq,
+            background_retries: inner
+                .bg_retries
+                .load(std::sync::atomic::Ordering::Relaxed),
+            wal_rotations: inner
+                .wal_rotations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            manifest_resyncs: inner
+                .manifest_resyncs
+                .load(std::sync::atomic::Ordering::Relaxed),
+            wal_sync_retries: inner
+                .wal_sync_retries
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 }
@@ -1405,6 +1625,54 @@ impl DbInner {
         FileNumber(n)
     }
 
+    /// Appends one record to the manifest and syncs it, re-driving each
+    /// step a bounded number of times on transient (retryable) errors.
+    ///
+    /// The append is atomic at the VFS layer (one buffered write per
+    /// frame), so retrying it cannot duplicate an edit; a failed sync
+    /// persisted nothing, so re-syncing is always safe.
+    fn log_manifest(&self, manifest: &mut WalWriter, record: &[u8]) -> Result<()> {
+        let mut attempts = 0u32;
+        loop {
+            match manifest.add_record(record) {
+                Ok(_) => break,
+                Err(e) if e.is_retryable() && attempts < MANIFEST_RETRIES => {
+                    attempts += 1;
+                    self.manifest_resyncs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut attempts = 0u32;
+        loop {
+            match manifest.sync() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && attempts < MANIFEST_RETRIES => {
+                    attempts += 1;
+                    self.manifest_resyncs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Rotates to a fresh WAL file after a transient append failure.
+    ///
+    /// `mem_wal_number` is left untouched: it names the *oldest* log
+    /// holding data for the active memtable, which still includes the
+    /// pre-rotation file, so WAL GC keeps both until the next flush.
+    fn rotate_wal(&self, state: &mut DbState) -> Result<()> {
+        let wal_number = state.next_file;
+        state.next_file += 1;
+        state.wal = Some(WalWriter::new(self.vfs.create(&wal_file_name(wal_number))?));
+        state.wals_on_disk.push(wal_number);
+        self.wal_rotations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
     fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
         let old = {
             let mut guard = state.mem.write();
@@ -1456,14 +1724,23 @@ impl DbInner {
         let last_seq = seq - 1;
         state.last_seq = last_seq;
 
-        // One buffered append for the whole group. A failure here is
-        // fatal for the database: later appends after a torn record
-        // would be silently dropped by recovery.
+        // One buffered append for the whole group. The append is atomic
+        // at the VFS layer, so a *transient* failure leaves the log at a
+        // clean frame boundary: rotate to a fresh WAL, fail only this
+        // group, and keep the database alive. Anything else is fatal —
+        // later appends after a torn record would be silently dropped by
+        // recovery.
         if !self.opts.disable_wal {
             let records: Vec<&[u8]> = group.iter().map(|(_, p)| p.record.as_slice()).collect();
             let wal = state.wal.as_mut().expect("wal enabled");
             match wal.add_records(&records) {
                 Ok(appended) => self.tickers.add(Ticker::WalBytes, appended),
+                Err(e) if e.is_retryable() => {
+                    if let Err(rot) = self.rotate_wal(&mut state) {
+                        rt.set_fatal(rot);
+                    }
+                    return Err(e);
+                }
                 Err(e) => {
                     rt.set_fatal(e.clone());
                     return Err(e);
@@ -1537,7 +1814,7 @@ impl DbInner {
                 WriteRegime::Stopped => {
                     self.tickers.inc(Ticker::WriteStops);
                     if stopped_for >= REAL_STALL_TIMEOUT {
-                        return Err(Error::Busy("write stall did not clear".into()));
+                        return Err(Error::busy("write stall did not clear"));
                     }
                     rt.bg.kick();
                     let start = std::time::Instant::now();
@@ -1551,8 +1828,9 @@ impl DbInner {
     }
 
     /// Syncs the WAL if the group asked for it (or `wal_bytes_per_sync`
-    /// is due). A sync failure is fatal: the writes were already
-    /// acknowledged as appended.
+    /// is due). A failed sync persisted nothing, so transient errors are
+    /// re-driven a bounded number of times; a persistent failure is
+    /// fatal: the writes were already acknowledged as appended.
     fn real_sync_wal(&self, rt: &Runtime, state: &mut DbState, group_sync: bool) -> Result<()> {
         if self.opts.disable_wal {
             return Ok(());
@@ -1560,9 +1838,21 @@ impl DbInner {
         let per_sync = self.opts.wal_bytes_per_sync;
         let wal = state.wal.as_mut().expect("wal enabled");
         if group_sync || (per_sync > 0 && wal.bytes_since_sync() >= per_sync) {
-            if let Err(e) = wal.sync() {
-                rt.set_fatal(e.clone());
-                return Err(e);
+            let mut attempts = 0u32;
+            loop {
+                match wal.sync() {
+                    Ok(()) => break,
+                    Err(e) if e.is_retryable() && attempts < WAL_SYNC_RETRIES => {
+                        attempts += 1;
+                        self.wal_sync_retries
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(1 << attempts));
+                    }
+                    Err(e) => {
+                        rt.set_fatal(e.clone());
+                        return Err(e);
+                    }
+                }
             }
             self.tickers.inc(Ticker::WalSyncs);
         }
@@ -1596,7 +1886,13 @@ impl DbInner {
     fn run_background_cycle(&self) -> usize {
         let rt = self.runtime.as_ref().expect("real mode");
         let mut jobs_run = 0;
+        let mut consecutive_failures = 0u32;
         while !rt.bg.is_shutdown() {
+            // Once the database is latched fatal, re-claiming work would
+            // spin on the same failing job; leave everything parked.
+            if rt.fatal_error().is_some() {
+                break;
+            }
             let job = {
                 let mut state = self.state.lock();
                 self.real_claim_job(&mut state)
@@ -1607,8 +1903,21 @@ impl DbInner {
                 BgJob::Merge(merge) => self.real_run_merge(rt, merge),
                 BgJob::Drop { files } => self.real_run_drop(files),
             };
-            if let Err(e) = result {
-                rt.set_fatal(e);
+            match result {
+                Ok(()) => consecutive_failures = 0,
+                // A retryable build-phase failure already unclaimed its
+                // inputs (flushing flags / `being_compacted`), so the same
+                // work is claimable again: park briefly with exponential
+                // backoff and re-claim instead of latching the fatal state.
+                Err(e) if e.is_retryable() && !rt.bg.is_shutdown() => {
+                    consecutive_failures += 1;
+                    self.bg_retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(
+                        1u64 << consecutive_failures.min(6),
+                    ));
+                }
+                Err(e) => rt.set_fatal(e),
             }
             jobs_run += 1;
             // Completion may unblock stalled writers and unlock further
@@ -1758,8 +2067,12 @@ impl DbInner {
             ..VersionEdit::default()
         };
         edit.added_files.push((0, meta));
-        state.manifest.add_record(&edit.encode())?;
-        state.manifest.sync()?;
+        // Install-phase failures (after bounded in-place retries) are not
+        // recoverable by re-running the job: the memtables were already
+        // detached above. Escalate as non-retryable so the worker latches
+        // the fatal state instead of parking.
+        self.log_manifest(&mut state.manifest, &edit.encode())
+            .map_err(|e| e.retryable(false))?;
         state.version = Arc::new(state.version.apply(&edit)?);
         state.wals_on_disk.retain(|n| {
             if *n < min_wal {
@@ -1829,8 +2142,8 @@ impl DbInner {
                 )),
             ));
         }
-        state.manifest.add_record(&edit.encode())?;
-        state.manifest.sync()?;
+        self.log_manifest(&mut state.manifest, &edit.encode())
+            .map_err(|e| e.retryable(false))?;
         state.version = Arc::new(state.version.apply(&edit)?);
         for (_, f) in &job.inputs {
             f.set_being_compacted(false);
@@ -1849,8 +2162,8 @@ impl DbInner {
         for f in &files {
             edit.deleted_files.push((0, f.number));
         }
-        state.manifest.add_record(&edit.encode())?;
-        state.manifest.sync()?;
+        self.log_manifest(&mut state.manifest, &edit.encode())
+            .map_err(|e| e.retryable(false))?;
         state.version = Arc::new(state.version.apply(&edit)?);
         for f in files {
             f.set_being_compacted(false);
@@ -2205,7 +2518,7 @@ impl DbInner {
             ..VersionEdit::default()
         };
         edit.added_files.push((0, Arc::clone(&meta)));
-        state.manifest.add_record(&edit.encode())?;
+        self.log_manifest(&mut state.manifest, &edit.encode())?;
         self.env.device().submit_write(at, 128, AccessPattern::Sequential);
         state.version = Arc::new(state.version.apply(&edit)?);
         state.wals_on_disk.retain(|n| {
@@ -2252,7 +2565,7 @@ impl DbInner {
                 )),
             ));
         }
-        state.manifest.add_record(&edit.encode())?;
+        self.log_manifest(&mut state.manifest, &edit.encode())?;
         self.env.device().submit_write(at, 256, AccessPattern::Sequential);
         state.version = Arc::new(state.version.apply(&edit)?);
         for (_, f) in &inputs {
@@ -2277,7 +2590,7 @@ impl DbInner {
         for f in &files {
             edit.deleted_files.push((0, f.number));
         }
-        state.manifest.add_record(&edit.encode())?;
+        self.log_manifest(&mut state.manifest, &edit.encode())?;
         state.version = Arc::new(state.version.apply(&edit)?);
         for f in &files {
             f.set_being_compacted(false);
@@ -2358,6 +2671,7 @@ impl DbInner {
         reader: &TableReader,
         file: FileNumber,
         handle: crate::sstable::table::BlockHandle,
+        ropts: &ReadOptions,
         cpu: &mut SimDuration,
     ) -> Result<Arc<Vec<u8>>> {
         let key = BlockKey {
@@ -2372,7 +2686,7 @@ impl DbInner {
             }
             self.tickers.inc(Ticker::BlockCacheMiss);
         }
-        let fetch = reader.read_block(handle)?;
+        let fetch = reader.read_block_with(handle, ropts.verify_checksums)?;
         let now = self.env.clock().now();
         let done = self
             .env
@@ -2385,7 +2699,9 @@ impl DbInner {
         }
         let data = Arc::new(fetch.data);
         if let Some(cache) = &self.block_cache {
-            cache.insert(key, Arc::clone(&data));
+            if ropts.fill_cache {
+                cache.insert(key, Arc::clone(&data));
+            }
         }
         Ok(data)
     }
@@ -2395,6 +2711,7 @@ impl DbInner {
         version: &Version,
         key: &[u8],
         snapshot: SequenceNumber,
+        ropts: &ReadOptions,
         cpu: &mut SimDuration,
     ) -> Result<Option<Option<Vec<u8>>>> {
         let target = crate::types::lookup_key(key, snapshot);
@@ -2403,7 +2720,7 @@ impl DbInner {
             if key < f.smallest.user_key() || key > f.largest.user_key() {
                 continue;
             }
-            if let Some(result) = self.probe_table(f, key, &target, cpu)? {
+            if let Some(result) = self.probe_table(f, key, &target, ropts, cpu)? {
                 return Ok(Some(result));
             }
         }
@@ -2423,7 +2740,7 @@ impl DbInner {
                 continue;
             }
             *cpu += SimDuration::from_nanos(60); // range binary search
-            if let Some(result) = self.probe_table(f, key, &target, cpu)? {
+            if let Some(result) = self.probe_table(f, key, &target, ropts, cpu)? {
                 return Ok(Some(result));
             }
         }
@@ -2435,6 +2752,7 @@ impl DbInner {
         file: &FileMetadata,
         user_key: &[u8],
         target: &InternalKey,
+        ropts: &ReadOptions,
         cpu: &mut SimDuration,
     ) -> Result<Option<Option<Vec<u8>>>> {
         let reader = self.open_table(file, cpu)?;
@@ -2450,7 +2768,7 @@ impl DbInner {
         let Some(handle) = reader.find_block(target.encoded())? else {
             return Ok(None);
         };
-        let data = self.fetch_block(&reader, file.number, handle, cpu)?;
+        let data = self.fetch_block(&reader, file.number, handle, ropts, cpu)?;
         let block = Block::parse(data.as_ref().clone())?;
         *cpu += SimDuration::from_nanos(300); // block binary search + scan
         match block.seek(target.encoded())? {
@@ -2547,10 +2865,16 @@ struct FileCursor {
     next_block: usize,
     entries: Vec<(Vec<u8>, Vec<u8>)>,
     pos: usize,
+    ropts: ReadOptions,
 }
 
 impl FileCursor {
-    fn open(inner: &DbInner, file: Arc<FileMetadata>, target: &[u8]) -> Result<FileCursor> {
+    fn open(
+        inner: &DbInner,
+        file: Arc<FileMetadata>,
+        target: &[u8],
+        ropts: ReadOptions,
+    ) -> Result<FileCursor> {
         let mut cpu = SimDuration::ZERO;
         let reader = inner.open_table(&file, &mut cpu)?;
         let handles = reader.block_handles()?;
@@ -2562,6 +2886,7 @@ impl FileCursor {
             next_block: 0,
             entries: Vec::new(),
             pos: 0,
+            ropts,
         };
         // Skip blocks wholly before the target using the index order.
         c.load_until(inner, target)?;
@@ -2599,6 +2924,7 @@ impl FileCursor {
                 &self.reader,
                 self.file.number,
                 self.handles[self.next_block],
+                &self.ropts,
                 &mut cpu,
             )?;
             self.next_block += 1;
@@ -2634,15 +2960,22 @@ struct LevelCursor {
     next_file: usize,
     current: Option<FileCursor>,
     target: Vec<u8>,
+    ropts: ReadOptions,
 }
 
 impl LevelCursor {
-    fn open(inner: &DbInner, files: Vec<Arc<FileMetadata>>, target: &[u8]) -> Result<LevelCursor> {
+    fn open(
+        inner: &DbInner,
+        files: Vec<Arc<FileMetadata>>,
+        target: &[u8],
+        ropts: ReadOptions,
+    ) -> Result<LevelCursor> {
         let mut c = LevelCursor {
             files,
             next_file: 0,
             current: None,
             target: target.to_vec(),
+            ropts,
         };
         c.open_next(inner)?;
         Ok(c)
@@ -2653,7 +2986,7 @@ impl LevelCursor {
         while self.next_file < self.files.len() {
             let file = Arc::clone(&self.files[self.next_file]);
             self.next_file += 1;
-            let cursor = FileCursor::open(inner, file, &self.target)?;
+            let cursor = FileCursor::open(inner, file, &self.target, self.ropts)?;
             if cursor.key().is_some() {
                 self.current = Some(cursor);
                 return Ok(());
@@ -2706,7 +3039,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let env = env();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         db.put(b"hello", b"world").unwrap();
         assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
         assert_eq!(db.get(b"absent").unwrap(), None);
@@ -2715,7 +3048,7 @@ mod tests {
     #[test]
     fn delete_hides_value() {
         let env = env();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         db.put(b"k", b"v").unwrap();
         db.delete(b"k").unwrap();
         assert_eq!(db.get(b"k").unwrap(), None);
@@ -2724,7 +3057,7 @@ mod tests {
     #[test]
     fn overwrite_returns_newest() {
         let env = env();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         db.put(b"k", b"v1").unwrap();
         db.put(b"k", b"v2").unwrap();
         assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
@@ -2733,7 +3066,7 @@ mod tests {
     #[test]
     fn reads_span_memtable_flush_and_compaction() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let n = 3_000;
         for i in 0..n {
             db.put(format!("key-{i:06}").as_bytes(), format!("value-{i}").as_bytes())
@@ -2756,7 +3089,7 @@ mod tests {
     #[test]
     fn scan_returns_sorted_live_entries() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         for i in 0..500 {
             db.put(format!("key-{i:04}").as_bytes(), b"v").unwrap();
         }
@@ -2774,7 +3107,7 @@ mod tests {
     #[test]
     fn virtual_time_advances_with_work() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let t0 = env.clock().now();
         for i in 0..2_000 {
             db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
@@ -2792,7 +3125,7 @@ mod tests {
             let env = env();
             let mut opts = small_opts();
             opts.bloom_filter_bits_per_key = bits;
-            let db = Db::open_sim(opts, &env).unwrap();
+            let db = Db::builder(opts).env(&env).open().unwrap();
             for i in 0..2_000 {
                 db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
             }
@@ -2818,7 +3151,7 @@ mod tests {
         let env = env();
         let vfs = Arc::new(MemVfs::new());
         {
-            let db = Db::open(small_opts(), &env, vfs.clone()).unwrap();
+            let db = Db::builder(small_opts()).env(&env).vfs(vfs.clone()).open().unwrap();
             for i in 0..1_000 {
                 db.put(format!("key-{i:04}").as_bytes(), format!("v-{i}").as_bytes())
                     .unwrap();
@@ -2828,7 +3161,7 @@ mod tests {
             // the WAL tail was never fsynced but MemVfs keeps appended
             // bytes, modeling a process crash rather than power loss).
         }
-        let db = Db::open(small_opts(), &env, vfs).unwrap();
+        let db = Db::builder(small_opts()).env(&env).vfs(vfs).open().unwrap();
         for i in (0..1_000).step_by(53) {
             assert_eq!(
                 db.get(format!("key-{i:04}").as_bytes()).unwrap(),
@@ -2843,7 +3176,7 @@ mod tests {
         let env = env();
         let vfs = Arc::new(MemVfs::new());
         {
-            let db = Db::open(Options::default(), &env, vfs.clone()).unwrap();
+            let db = Db::builder(Options::default()).env(&env).vfs(vfs.clone()).open().unwrap();
             db.put(b"safe", b"1").unwrap();
             db.put(b"torn", b"2").unwrap();
         }
@@ -2857,7 +3190,7 @@ mod tests {
         let wal = wals.last().unwrap();
         let len = vfs.file_size(wal).unwrap();
         vfs.truncate(wal, (len - 3) as usize).unwrap();
-        let db = Db::open(Options::default(), &env, vfs).unwrap();
+        let db = Db::builder(Options::default()).env(&env).vfs(vfs).open().unwrap();
         assert_eq!(db.get(b"safe").unwrap(), Some(b"1".to_vec()));
         assert_eq!(db.get(b"torn").unwrap(), None, "torn record dropped");
     }
@@ -2869,7 +3202,7 @@ mod tests {
         opts.level0_slowdown_writes_trigger = 2;
         opts.level0_stop_writes_trigger = 4;
         opts.max_background_jobs = 1;
-        let db = Db::open_sim(opts, &env).unwrap();
+        let db = Db::builder(opts).env(&env).open().unwrap();
         for i in 0..20_000 {
             db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
         }
@@ -2885,7 +3218,7 @@ mod tests {
     fn hdd_is_slower_than_nvme_for_same_work() {
         let run = |model: DeviceModel| {
             let env = HardwareEnv::builder().cores(2).memory_gib(4).device(model).build_sim();
-            let db = Db::open_sim(small_opts(), &env).unwrap();
+            let db = Db::builder(small_opts()).env(&env).open().unwrap();
             for i in 0..3_000 {
                 db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
             }
@@ -2905,7 +3238,7 @@ mod tests {
         let env = env();
         let mut opts = small_opts();
         opts.disable_auto_compactions = true;
-        let db = Db::open_sim(opts, &env).unwrap();
+        let db = Db::builder(opts).env(&env).open().unwrap();
         for i in 0..5_000 {
             db.put(format!("key-{i:06}").as_bytes(), &[0u8; 50]).unwrap();
         }
@@ -2918,7 +3251,7 @@ mod tests {
     #[test]
     fn write_batch_is_atomic_in_order() {
         let env = env();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         let mut b = WriteBatch::new();
         b.put(b"a", b"1");
         b.delete(b"a");
@@ -2931,7 +3264,7 @@ mod tests {
     #[test]
     fn stats_shape_is_reported() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         for i in 0..2_000 {
             db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
         }
@@ -2941,6 +3274,95 @@ mod tests {
         assert!(stats.levels.iter().map(|(n, _)| n).sum::<usize>() > 0);
         assert!(stats.write_amplification() > 0.0);
         assert!(stats.last_sequence >= 2_000);
+    }
+
+    #[test]
+    fn builder_defaults_and_explicit_vfs() {
+        // Defaults: sim env + fresh MemVfs.
+        let db = Db::builder(Options::default()).open().unwrap();
+        db.put(b"k", b"v").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+        drop(db);
+
+        // Explicit VFS: state survives reopen through the same store.
+        let vfs = Arc::new(crate::vfs::MemVfs::new());
+        let env = env();
+        let db = Db::builder(Options::default())
+            .env(&env)
+            .vfs(vfs.clone())
+            .open()
+            .unwrap();
+        db.put(b"persist", b"1").unwrap();
+        drop(db);
+        let db = Db::builder(Options::default()).env(&env).vfs(vfs).open().unwrap();
+        assert_eq!(db.get(b"persist").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn read_options_snapshot_seq_pins_the_past() {
+        let env = env();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
+        db.put(b"k", b"old").unwrap();
+        let pinned = db.stats().last_sequence;
+        db.put(b"k", b"new").unwrap();
+        db.put(b"k2", b"later").unwrap();
+
+        let ropts = ReadOptions {
+            snapshot_seq: Some(pinned),
+            ..ReadOptions::default()
+        };
+        assert_eq!(db.get_opt(&ropts, b"k").unwrap(), Some(b"old".to_vec()));
+        assert_eq!(db.get_opt(&ropts, b"k2").unwrap(), None);
+        assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
+
+        let snap_scan = db.scan_opt(&ropts, b"k", 10).unwrap();
+        assert_eq!(snap_scan, vec![(b"k".to_vec(), b"old".to_vec())]);
+        // A snapshot past the visible watermark clamps instead of leaking.
+        let future = ReadOptions {
+            snapshot_seq: Some(u64::MAX - 1),
+            ..ReadOptions::default()
+        };
+        assert_eq!(db.get_opt(&future, b"k").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn read_options_fill_cache_and_checksum_skip() {
+        let env = env();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
+        for i in 0..2_000 {
+            db.put(format!("key-{i:05}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+
+        // A no-fill read on a cold cache must not populate it: repeating
+        // the same read misses again.
+        let no_fill = ReadOptions {
+            fill_cache: false,
+            ..ReadOptions::default()
+        };
+        let miss0 = db.stats().tickers.get(Ticker::BlockCacheMiss);
+        assert_eq!(db.get_opt(&no_fill, b"key-00042").unwrap(), Some(b"v".to_vec()));
+        let miss1 = db.stats().tickers.get(Ticker::BlockCacheMiss);
+        assert!(miss1 > miss0, "cold read misses");
+        assert_eq!(db.get_opt(&no_fill, b"key-00042").unwrap(), Some(b"v".to_vec()));
+        let miss2 = db.stats().tickers.get(Ticker::BlockCacheMiss);
+        assert!(miss2 > miss1, "no-fill read did not populate the cache");
+
+        // Checksum-skipping reads return the same data.
+        let no_verify = ReadOptions {
+            verify_checksums: false,
+            ..ReadOptions::default()
+        };
+        assert_eq!(db.get_opt(&no_verify, b"key-01234").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(db.scan_opt(&no_verify, b"key-00000", 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #[allow(deprecated)]
+        let db = Db::open_sim(Options::default(), &env()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
     }
 }
 
@@ -2963,7 +3385,7 @@ mod compact_range_tests {
             disable_auto_compactions: true, // everything stays in L0
             ..Options::default()
         };
-        let db = Db::open_sim(opts, &env).unwrap();
+        let db = Db::builder(opts).env(&env).open().unwrap();
         for i in 0..3_000 {
             db.put(format!("key-{i:05}").as_bytes(), &[1u8; 50]).unwrap();
         }
@@ -2987,9 +3409,10 @@ mod compact_range_tests {
     #[test]
     fn compact_range_with_no_overlap_is_noop() {
         let env = HardwareEnv::builder().build_sim();
-        let db = Db::open_sim(Options::default(), &env).unwrap();
+        let db = Db::builder(Options::default()).env(&env).open().unwrap();
         db.put(b"a", b"1").unwrap();
         db.compact_range(b"x", b"z").unwrap();
         assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
     }
+
 }

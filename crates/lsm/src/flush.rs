@@ -22,7 +22,7 @@ pub fn sst_file_name(number: FileNumber) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`crate::Error::Io`] on write failure; the caller deletes the
+/// Returns [`ErrorKind::Io`](crate::ErrorKind) on write failure; the caller deletes the
 /// partial file.
 pub fn build_l0_table(
     vfs: &dyn Vfs,

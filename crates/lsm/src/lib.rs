@@ -21,7 +21,7 @@
 //!
 //! # fn main() -> Result<(), lsm_kvs::Error> {
 //! let env = hw_sim::HardwareEnv::builder().build_sim();
-//! let db = Db::open_sim(Options::default(), &env)?;
+//! let db = Db::builder(Options::default()).env(&env).open()?;
 //! db.put(b"key", b"value")?;
 //! assert_eq!(db.get(b"key")?, Some(b"value".to_vec()));
 //! # Ok(())
@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod options;
 pub mod sstable;
 pub mod vfs;
@@ -55,10 +56,12 @@ pub use compaction::{
     level_targets, pending_compaction_bytes, run_compaction, CompactionInputs,
     CompactionJobOutput, CompactionPick, CompactionReason,
 };
-pub use db::{CostModel, Db, DbStats, ScanResult, WriteOptions};
-pub use error::{Error, Result};
+pub use db::{CostModel, Db, DbBuilder, DbStats, ReadOptions, ScanResult, WriteOptions};
+pub use error::{Error, ErrorKind, Result};
+pub use fault::{FaultConfig, FaultInjectionVfs, TearStyle};
 pub use memtable::{MemTable, MemTableGet};
 pub use stats::{Histogram, HistogramSnapshot, Ticker, TickerSnapshot, Tickers, TICKER_NAMES};
 pub use types::{FileNumber, InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE};
 pub use version::{FileMetadata, Version, VersionEdit};
+pub use vfs::{MemVfs, RandomAccessFile, StdVfs, Vfs, WritableFile};
 pub use write_controller::{WriteController, WritePressure, WriteRegime};

@@ -78,7 +78,7 @@ pub fn apply_ini(opts: &mut Options, text: &str) -> IniParseOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidArgument`] if *no* line applied — the text was
+/// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) if *no* line applied — the text was
 /// not an options file at all.
 pub fn from_ini(text: &str) -> Result<(Options, IniParseOutcome)> {
     let mut opts = Options::default();

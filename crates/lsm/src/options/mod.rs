@@ -388,7 +388,7 @@ impl Options {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidArgument`] when a combination of options is
+    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) when a combination of options is
     /// inconsistent (e.g. slowdown trigger above stop trigger).
     pub fn validate(&self) -> Result<()> {
         if self.write_buffer_size == 0 {

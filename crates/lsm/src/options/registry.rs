@@ -587,7 +587,7 @@ impl Options {
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidArgument`] if the option is unknown, deprecated
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) if the option is unknown, deprecated
     /// without a remap, fails to parse, or is out of range.
     pub fn set_by_name(&mut self, name: &str, value: &str) -> Result<()> {
         if let Some(meta) = find_option(name) {

@@ -4,7 +4,7 @@
 //! In simulation mode the engine is single-threaded and background work
 //! runs eagerly on the foreground thread with its effects installed at
 //! virtual instants. When a [`Db`](crate::Db) is opened against a wall
-//! clock (see `Db::open` with a non-sim `HardwareEnv`), it instead gets a
+//! clock (see `Db::builder` with a non-sim `HardwareEnv`), it instead gets a
 //! `Runtime`: writers coalesce through a leader-based commit queue, and a
 //! pool of OS worker threads executes flushes and compactions off the
 //! foreground path.

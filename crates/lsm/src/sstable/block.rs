@@ -117,7 +117,7 @@ impl Block {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if the trailer is malformed.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) if the trailer is malformed.
     pub fn parse(data: Vec<u8>) -> Result<Block> {
         if data.len() < 4 {
             return Err(Error::corruption("block too small for trailer"));
@@ -164,7 +164,7 @@ impl Block {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if entry decoding fails.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) if entry decoding fails.
     pub fn seek(&self, target: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         // Binary search the restart points for the last restart whose key
         // is < target, then scan linearly.
@@ -216,7 +216,7 @@ impl<'a> BlockIter<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] on malformed entries.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on malformed entries.
     pub fn advance(&mut self) -> Result<bool> {
         if self.offset >= self.block.restarts_offset {
             self.valid = false;

@@ -188,7 +188,7 @@ impl TableBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if a block write fails.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if a block write fails.
     pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         if self.smallest.is_none() {
             self.smallest = InternalKey::decode(key);
@@ -229,8 +229,8 @@ impl TableBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on write failure or
-    /// [`Error::InvalidArgument`] when no entries were added.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) on write failure or
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) when no entries were added.
     pub fn finish(mut self) -> Result<FinishedTable> {
         if self.props.num_entries == 0 {
             return Err(Error::invalid_argument("cannot finish an empty table"));
@@ -269,6 +269,10 @@ impl TableBuilder {
         put_fixed64(&mut footer, 0); // reserved
         self.file.append(&footer)?;
         self.offset += footer.len() as u64;
+        // Durability barrier: the table must be on stable media *before*
+        // any manifest edit references it, or a power cut between install
+        // and writeback would leave the version pointing at a torn file.
+        self.file.sync()?;
         self.file.finish()?;
 
         Ok(FinishedTable {
@@ -353,7 +357,7 @@ impl TableReader {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] on format violations.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on format violations.
     pub fn open(file: Arc<dyn RandomAccessFile>) -> Result<(TableReader, u64)> {
         let len = file.len();
         if (len as usize) < FOOTER_SIZE {
@@ -426,7 +430,7 @@ impl TableReader {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if the index block is malformed.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) if the index block is malformed.
     pub fn find_block(&self, target: &[u8]) -> Result<Option<BlockHandle>> {
         match self.index.seek(target)? {
             Some((_, value)) => Ok(Some(
@@ -440,7 +444,7 @@ impl TableReader {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if the index block is malformed.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) if the index block is malformed.
     pub fn block_handles(&self) -> Result<Vec<BlockHandle>> {
         let mut out = Vec::new();
         let mut it = self.index.iter();
@@ -461,8 +465,20 @@ impl TableReader {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] on checksum or decode failures.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on checksum or decode failures.
     pub fn read_block(&self, handle: BlockHandle) -> Result<BlockFetch> {
+        self.read_block_with(handle, true)
+    }
+
+    /// Like [`read_block`](Self::read_block), but checksum verification
+    /// can be skipped (`ReadOptions::verify_checksums = false`). Structural
+    /// validation (length, compression flag, decode) still runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on checksum (when
+    /// verifying) or decode failures.
+    pub fn read_block_with(&self, handle: BlockHandle, verify_checksums: bool) -> Result<BlockFetch> {
         let stored = self.file.read_at(handle.offset, handle.size as usize + 5)?;
         if stored.len() != handle.size as usize + 5 {
             return Err(Error::corruption("short block read"));
@@ -470,11 +486,13 @@ impl TableReader {
         let (payload, trailer) = stored.split_at(handle.size as usize);
         let flag = trailer[0];
         let crc_stored = get_fixed32(trailer, 1).ok_or_else(|| Error::corruption("short crc"))?;
-        let mut crc_input = Vec::with_capacity(payload.len() + 1);
-        crc_input.extend_from_slice(payload);
-        crc_input.push(flag);
-        if crc32c(&crc_input) != crc_stored {
-            return Err(Error::corruption("block checksum mismatch"));
+        if verify_checksums {
+            let mut crc_input = Vec::with_capacity(payload.len() + 1);
+            crc_input.extend_from_slice(payload);
+            crc_input.push(flag);
+            if crc32c(&crc_input) != crc_stored {
+                return Err(Error::corruption("block checksum mismatch"));
+            }
         }
         let (data, was_compressed) = match flag {
             COMPRESSION_FLAG_NONE => (payload.to_vec(), false),
@@ -647,7 +665,7 @@ mod tests {
         let (reader, _) = TableReader::open(vfs.open("t.sst").unwrap()).unwrap();
         let handles = reader.block_handles().unwrap();
         let err = reader.read_block(handles[0]).unwrap_err();
-        assert!(matches!(err, Error::Corruption(_)));
+        assert!(err.is_corruption());
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl Version {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if the edit references an unknown
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) if the edit references an unknown
     /// level.
     pub fn apply(&self, edit: &VersionEdit) -> Result<Version> {
         let mut levels = self.levels.clone();
@@ -218,7 +218,7 @@ impl VersionEdit {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] on malformed input.
+    /// Returns [`ErrorKind::Corruption`](crate::ErrorKind) on malformed input.
     pub fn decode(data: &[u8]) -> Result<VersionEdit> {
         let mut edit = VersionEdit::default();
         let mut pos = 0usize;

@@ -25,21 +25,21 @@ pub trait WritableFile: Send {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on underlying write failure.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) on underlying write failure.
     fn append(&mut self, data: &[u8]) -> Result<()>;
 
     /// Durably persists everything appended so far.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on underlying sync failure.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) on underlying sync failure.
     fn sync(&mut self) -> Result<()>;
 
     /// Completes the file, making it visible to [`Vfs::open`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on underlying flush failure.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) on underlying flush failure.
     fn finish(&mut self) -> Result<()>;
 
     /// Bytes appended so far.
@@ -57,7 +57,7 @@ pub trait RandomAccessFile: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the read fails or the offset is past EOF.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the read fails or the offset is past EOF.
     fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
 
     /// Total file length in bytes.
@@ -75,35 +75,35 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if creation fails.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if creation fails.
     fn create(&self, path: &str) -> Result<Box<dyn WritableFile>>;
 
     /// Opens an existing file for random access.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the file does not exist.
     fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>>;
 
     /// Reads a whole file (used for WAL/manifest recovery).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the file does not exist.
     fn read_all(&self, path: &str) -> Result<Vec<u8>>;
 
     /// Deletes a file; deleting a missing file is an error.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the file does not exist.
     fn delete(&self, path: &str) -> Result<()>;
 
     /// Atomically renames a file.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the source does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the source does not exist.
     fn rename(&self, from: &str, to: &str) -> Result<()>;
 
     /// Whether a file exists.
@@ -113,14 +113,14 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the directory cannot be read.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the directory cannot be read.
     fn list(&self, prefix: &str) -> Result<Vec<String>>;
 
     /// Size of a file in bytes.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the file does not exist.
     fn file_size(&self, path: &str) -> Result<u64>;
 }
 
@@ -185,7 +185,7 @@ impl MemVfs {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file does not exist.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the file does not exist.
     pub fn truncate(&self, path: &str, keep: usize) -> Result<()> {
         let mut inner = self.inner.lock();
         let file = inner
@@ -395,7 +395,7 @@ impl StdVfs {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the directory cannot be created.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the directory cannot be created.
     pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;

@@ -40,7 +40,7 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the append fails.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the append fails.
     pub fn add_record(&mut self, payload: &[u8]) -> Result<u64> {
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         put_fixed32(&mut frame, crc32c(payload));
@@ -61,7 +61,7 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the append fails.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the append fails.
     pub fn add_records(&mut self, payloads: &[&[u8]]) -> Result<u64> {
         let total: usize = payloads.iter().map(|p| FRAME_HEADER + p.len()).sum();
         let mut frames = Vec::with_capacity(total);
@@ -81,7 +81,7 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the sync fails.
+    /// Returns [`ErrorKind::Io`](crate::ErrorKind) if the sync fails.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync()?;
         self.bytes_since_sync = 0;
@@ -118,7 +118,7 @@ pub struct WalReplay {
 ///
 /// # Errors
 ///
-/// With `strict`, returns [`Error::Corruption`] on a checksum mismatch.
+/// With `strict`, returns [`ErrorKind::Corruption`](crate::ErrorKind) on a checksum mismatch.
 pub fn replay_wal(data: &[u8], strict: bool) -> Result<WalReplay> {
     let mut records = Vec::new();
     let mut pos = 0usize;

@@ -46,7 +46,7 @@ impl Drop for TempDir {
 
 fn open_real(dir: &TempDir, opts: Options) -> Db {
     let env = HardwareEnv::builder().build_wall();
-    Db::open(opts, &env, Arc::new(StdVfs::new(dir.as_str()).unwrap())).unwrap()
+    Db::builder(opts).env(&env).vfs(Arc::new(StdVfs::new(dir.as_str()).unwrap())).open().unwrap()
 }
 
 fn small_opts() -> Options {

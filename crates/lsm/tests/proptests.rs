@@ -150,7 +150,7 @@ proptest! {
         let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         let crash_at = (crash_at as usize) % ops.len();
         {
-            let db = Db::open(opts.clone(), &env, vfs.clone()).unwrap();
+            let db = Db::builder(opts.clone()).env(&env).vfs(vfs.clone()).open().unwrap();
             for (k, v, is_delete) in &ops[..crash_at] {
                 let mut batch = WriteBatch::new();
                 if *is_delete {
@@ -164,7 +164,7 @@ proptest! {
             }
             // Crash: drop without shutdown.
         }
-        let db = Db::open(opts, &env, vfs).unwrap();
+        let db = Db::builder(opts).env(&env).vfs(vfs).open().unwrap();
         for (k, v, is_delete) in &ops[crash_at..] {
             if *is_delete {
                 db.delete(k).unwrap();

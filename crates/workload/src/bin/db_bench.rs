@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use db_bench::{run_benchmark, run_benchmark_real, BenchmarkSpec};
+use db_bench::{run_benchmark, run_benchmark_real, run_crash_loop, BenchmarkSpec};
 use hw_sim::{DeviceModel, HardwareEnv};
 use lsm_kvs::options::Options;
 use lsm_kvs::vfs::{MemVfs, StdVfs};
@@ -38,6 +38,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut threads: Option<usize> = None;
     let mut sync: Option<bool> = None;
     let mut db_dir: Option<String> = None;
+    let mut crash_loop: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -71,11 +72,13 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => threads = Some(take(&mut i)?.parse()?),
             "--sync" => sync = Some(take(&mut i)?.parse()?),
             "--db" => db_dir = Some(take(&mut i)?),
+            "--crash-loop" => crash_loop = Some(take(&mut i)?.parse()?),
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
                      [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
-                     [--real-time [--threads N] [--sync true|false] [--db dir]]"
+                     [--real-time [--threads N] [--sync true|false] [--db dir]] \
+                     [--crash-loop N [--db dir]]"
                 );
                 return Ok(());
             }
@@ -89,6 +92,18 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         for (k, v, why) in &outcome.rejected {
             eprintln!("options-file: ignored {k}={v}: {why}");
         }
+    }
+
+    if let Some(cycles) = crash_loop {
+        let n_threads = threads.unwrap_or(2);
+        eprintln!(
+            "running crash loop: {cycles} cycle(s), {n_threads} thread(s), dir={} ...",
+            db_dir.as_deref().unwrap_or("<memory>")
+        );
+        let outcome =
+            run_crash_loop(&opts, cycles, db_dir.as_deref(), n_threads, 0x5EED_CA5E)?;
+        println!("{}", outcome.to_text());
+        return Ok(());
     }
 
     for name in &benchmarks {
@@ -129,7 +144,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     (d.to_string_lossy().into_owned(), true)
                 }
             };
-            let db = Db::open(opts.clone(), &env, Arc::new(StdVfs::new(&dir)?))?;
+            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(StdVfs::new(&dir)?)).open()?;
             eprintln!(
                 "running {name} for real: {n_threads} thread(s), sync={sync}, dir={dir} ..."
             );
@@ -145,7 +160,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .memory_gib(mem_gib)
                 .device(device.clone())
                 .build_sim();
-            let db = Db::open(opts.clone(), &env, Arc::new(MemVfs::new()))?;
+            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(MemVfs::new())).open()?;
             eprintln!("running {name} on {} ...", env.description());
             let report = run_benchmark(&db, &env, &spec, None)?;
             println!("{}", report.to_db_bench_text());

@@ -1,0 +1,247 @@
+//! Wall-clock crash-loop driver (`db_bench --crash-loop N`).
+//!
+//! Each cycle opens the database in real-concurrency mode through a
+//! [`FaultInjectionVfs`], runs a multi-threaded fillrandom-style workload
+//! (mixed synced/unsynced writes, occasional injected error bursts), cuts
+//! power at a random moment — optionally tearing the last in-flight
+//! write — reboots, reopens, and verifies the durability contract:
+//! every synced-acknowledged write survives, and no key ever surfaces a
+//! value that was never written.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::{
+    Db, Error, FaultConfig, FaultInjectionVfs, MemVfs, StdVfs, TearStyle, Vfs, WriteBatch,
+    WriteOptions,
+};
+
+/// xorshift64* RNG — the harness must be deterministic apart from thread
+/// interleaving.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn chance(&mut self, p: f64) -> bool {
+        ((self.next() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Per-key attempt history since the last verified baseline:
+/// `(value, synced-and-acknowledged)`.
+type History = HashMap<Vec<u8>, Vec<(Vec<u8>, bool)>>;
+
+/// Summary of a completed crash loop.
+#[derive(Debug, Clone, Default)]
+pub struct CrashLoopOutcome {
+    /// Crash/recovery cycles completed.
+    pub cycles: u64,
+    /// Writes acknowledged with `sync = true` across all cycles.
+    pub acked_writes: u64,
+    /// Total write attempts (acked or not).
+    pub attempted_writes: u64,
+    /// Keys checked during post-crash verification passes.
+    pub verified_keys: u64,
+    /// I/O errors injected by the fault layer.
+    pub injected_errors: u64,
+    /// Reboots that tore the last in-flight write.
+    pub torn_reboots: u64,
+}
+
+impl CrashLoopOutcome {
+    /// db_bench-style one-paragraph summary.
+    pub fn to_text(&self) -> String {
+        format!(
+            "crash-loop: {} cycles, {} acked / {} attempted writes, \
+             {} keys verified, {} injected errors, {} torn reboots, 0 acked writes lost",
+            self.cycles,
+            self.acked_writes,
+            self.attempted_writes,
+            self.verified_keys,
+            self.injected_errors,
+            self.torn_reboots,
+        )
+    }
+}
+
+/// Runs `cycles` crash/recover cycles against `dir` (a real directory; a
+/// fresh in-memory store when `None`).
+///
+/// # Errors
+///
+/// Returns [`ErrorKind::Corruption`](lsm_kvs::ErrorKind) if recovery ever
+/// loses an acknowledged write or surfaces a value that was never
+/// written, and propagates reopen errors (a reopen after a crash must
+/// always succeed).
+pub fn run_crash_loop(
+    base_opts: &Options,
+    cycles: u64,
+    dir: Option<&str>,
+    threads: usize,
+    seed: u64,
+) -> lsm_kvs::Result<CrashLoopOutcome> {
+    let base: Arc<dyn Vfs> = match dir {
+        Some(d) => Arc::new(StdVfs::new(d)?),
+        None => Arc::new(MemVfs::new()),
+    };
+    let fault = FaultInjectionVfs::wrap(base);
+    let threads = threads.clamp(1, 8);
+    let mut rng = Rng::new(seed);
+    let mut outcome = CrashLoopOutcome::default();
+    // Thread-owned histories, merged after each cycle. Threads write
+    // disjoint key ranges so ack ordering is never racy across threads.
+    let mut history: History = HashMap::new();
+
+    for cycle in 0..cycles {
+        fault.clear_faults();
+        let env = HardwareEnv::builder().build_wall();
+        let db = Db::builder(base_opts.clone())
+            .env(&env)
+            .vfs(Arc::new(fault.clone()))
+            .open()?;
+
+        // Verify everything the previous crash left behind. Recovery has
+        // re-synced the recovered state, so whatever we observe becomes
+        // the new durable baseline.
+        for (key, hist) in history.iter() {
+            let got = db.get(key)?;
+            check_recovered(key, hist, &got)?;
+            outcome.verified_keys += 1;
+        }
+        for (key, hist) in std::mem::take(&mut history) {
+            if let Some(v) = db.get(&key)? {
+                history.insert(key, vec![(v, true)]);
+            } else {
+                drop(hist);
+            }
+        }
+
+        // Workload: each thread owns key suffix `t`, so per-key attempt
+        // order is a single thread's program order.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let db = db.clone();
+            let stop = Arc::clone(&stop);
+            let mut trng = Rng::new(seed ^ (cycle << 8) ^ t as u64);
+            handles.push(std::thread::spawn(move || {
+                let mut hist: History = HashMap::new();
+                let mut acked = 0u64;
+                let mut attempted = 0u64;
+                for op in 0..20_000u64 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let key = format!("key-{:04}-{t}", trng.below(500)).into_bytes();
+                    let value =
+                        format!("c{cycle}-t{t}-o{op}-{}", trng.next()).into_bytes();
+                    let sync = trng.chance(0.35);
+                    let mut batch = WriteBatch::new();
+                    batch.put(&key, &value);
+                    let res = db.write_opt(&WriteOptions { sync }, batch);
+                    attempted += 1;
+                    let ok = res.is_ok();
+                    if ok && sync {
+                        acked += 1;
+                    }
+                    hist.entry(key).or_default().push((value, ok && sync));
+                }
+                (hist, acked, attempted)
+            }));
+        }
+
+        // Let the workload run, maybe inject a transient error burst,
+        // then cut power mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(10 + rng.below(40)));
+        if rng.chance(0.4) {
+            fault.set_config(FaultConfig {
+                write_error_prob: 0.01,
+                sync_error_prob: 0.01,
+                errors_are_retryable: true,
+                ..FaultConfig::default()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            fault.clear_faults();
+        }
+        fault.power_off();
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let (hist, acked, attempted) = h.join().expect("worker panicked");
+            for (k, mut v) in hist {
+                history.entry(k).or_default().append(&mut v);
+            }
+            outcome.acked_writes += acked;
+            outcome.attempted_writes += attempted;
+        }
+        drop(db);
+        if rng.chance(0.5) {
+            outcome.torn_reboots += 1;
+            fault.reboot(TearStyle::TearTail { seed: rng.next() });
+        } else {
+            fault.reboot(TearStyle::DropUnsynced);
+        }
+        outcome.cycles += 1;
+    }
+
+    // Final reopen: the last crash must also verify clean.
+    fault.clear_faults();
+    let env = HardwareEnv::builder().build_wall();
+    let db = Db::builder(base_opts.clone())
+        .env(&env)
+        .vfs(Arc::new(fault.clone()))
+        .open()?;
+    for (key, hist) in history.iter() {
+        let got = db.get(key)?;
+        check_recovered(key, hist, &got)?;
+        outcome.verified_keys += 1;
+    }
+    outcome.injected_errors = fault.injected_errors();
+    Ok(outcome)
+}
+
+/// The durability contract for one key: WAL replay recovers a prefix of
+/// the write sequence containing at least every synced-acknowledged
+/// record, so the recovered value must stem from the last synced-acked
+/// attempt or any later one (and a key with no synced ack may have lost
+/// everything).
+fn check_recovered(
+    key: &[u8],
+    hist: &[(Vec<u8>, bool)],
+    got: &Option<Vec<u8>>,
+) -> lsm_kvs::Result<()> {
+    let last_ack = hist.iter().rposition(|(_, acked)| *acked);
+    let valid = match (last_ack, got) {
+        (Some(j), Some(v)) => hist[j..].iter().any(|(cand, _)| cand == v),
+        (Some(_), None) => false,
+        (None, Some(v)) => hist.iter().any(|(cand, _)| cand == v),
+        (None, None) => true,
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(Error::corruption(format!(
+            "crash-loop: key {:?} recovered {:?}, violating the acked-write contract \
+             ({} attempts, last synced ack at {:?})",
+            String::from_utf8_lossy(key),
+            got.as_ref().map(|v| String::from_utf8_lossy(v).into_owned()),
+            hist.len(),
+            last_ack,
+        )))
+    }
+}

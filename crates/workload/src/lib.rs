@@ -12,7 +12,7 @@
 //!
 //! # fn main() -> Result<(), lsm_kvs::Error> {
 //! let env = hw_sim::HardwareEnv::builder().build_sim();
-//! let db = Db::open_sim(Options::default(), &env)?;
+//! let db = Db::builder(Options::default()).env(&env).open()?;
 //! let mut spec = BenchmarkSpec::fillrandom(1.0);
 //! spec.num_ops = 2_000; // scaled down for the doctest
 //! spec.key_space = 2_000;
@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+mod crash;
 mod keygen;
 mod report;
 mod runner;
 mod spec;
 
+pub use crash::{run_crash_loop, CrashLoopOutcome};
 pub use keygen::{render_key, KeyDistribution, KeyGenerator, ValueGenerator};
 pub use report::{BenchReport, MonitorControl, MonitorSample};
 pub use runner::{run_benchmark, run_benchmark_real};

@@ -401,7 +401,7 @@ mod tests {
     #[test]
     fn fillrandom_produces_write_report() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let spec = tiny(BenchmarkSpec::fillrandom(1.0), 5_000);
         let report = run_benchmark(&db, &env, &spec, None).unwrap();
         assert_eq!(report.ops, 5_000);
@@ -416,7 +416,7 @@ mod tests {
     #[test]
     fn readrandom_preloads_and_finds_keys() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let spec = tiny(BenchmarkSpec::readrandom(1.0), 2_000);
         let report = run_benchmark(&db, &env, &spec, None).unwrap();
         assert_eq!(report.ops, 2_000);
@@ -428,7 +428,7 @@ mod tests {
     #[test]
     fn rrwr_mixes_reads_and_writes_on_two_threads() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let spec = tiny(BenchmarkSpec::readrandomwriterandom(1.0), 4_000);
         assert_eq!(spec.num_threads, 2);
         let report = run_benchmark(&db, &env, &spec, None).unwrap();
@@ -442,7 +442,7 @@ mod tests {
     #[test]
     fn mixgraph_runs_with_skew_and_pacing() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let spec = tiny(BenchmarkSpec::mixgraph(1.0), 4_000);
         let report = run_benchmark(&db, &env, &spec, None).unwrap();
         let reads = report.read_latency.unwrap().count;
@@ -453,7 +453,7 @@ mod tests {
     #[test]
     fn monitor_receives_samples_and_can_abort() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let mut spec = tiny(BenchmarkSpec::fillrandom(1.0), 200_000);
         spec.report_interval_ms = 10;
         let mut calls = 0;
@@ -475,7 +475,7 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let env = env();
-            let db = Db::open_sim(small_opts(), &env).unwrap();
+            let db = Db::builder(small_opts()).env(&env).open().unwrap();
             let spec = tiny(BenchmarkSpec::mixgraph(1.0), 3_000);
             let r = run_benchmark(&db, &env, &spec, None).unwrap();
             (r.ops_per_sec, r.found, r.duration)
@@ -488,7 +488,7 @@ mod tests {
     #[test]
     fn two_threads_interleave_in_time_order() {
         let env = env();
-        let db = Db::open_sim(small_opts(), &env).unwrap();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
         let mut spec = tiny(BenchmarkSpec::readrandomwriterandom(1.0), 2_000);
         spec.num_threads = 4;
         let report = run_benchmark(&db, &env, &spec, None).unwrap();

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .memory_gib(4)
         .device(DeviceModel::nvme_ssd())
         .build_sim();
-    let db = Db::open_sim(Options::default(), &env)?;
+    let db = Db::builder(Options::default()).env(&env).open()?;
 
     // 1% of the paper's 25M mixgraph ops (50% reads / 50% writes,
     // power-law key popularity, Pareto value sizes, sine QPS).

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .memory_gib(8)
         .device(DeviceModel::nvme_ssd())
         .build_sim();
-    let db = Db::open_sim(Options::default(), &env)?;
+    let db = Db::builder(Options::default()).env(&env).open()?;
 
     db.put(b"user:1001", b"alice")?;
     db.put(b"user:1002", b"bob")?;

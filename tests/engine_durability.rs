@@ -30,7 +30,7 @@ fn recovery_after_heavy_churn_preserves_everything() {
     let vfs = Arc::new(MemVfs::new());
     let n: usize = 5_000;
     {
-        let db = Db::open(churn_opts(), &env, vfs.clone()).unwrap();
+        let db = Db::builder(churn_opts()).env(&env).vfs(vfs.clone()).open().unwrap();
         for round in 0..3u32 {
             for i in 0..n {
                 db.put(
@@ -49,7 +49,7 @@ fn recovery_after_heavy_churn_preserves_everything() {
         assert!(stats.tickers.get(Ticker::CompactionJobs) > 0);
         // Crash: drop without any explicit flush/close.
     }
-    let db = Db::open(churn_opts(), &env, vfs).unwrap();
+    let db = Db::builder(churn_opts()).env(&env).vfs(vfs).open().unwrap();
     for i in 0..n {
         let key = format!("key-{i:06}");
         let got = db.get(key.as_bytes()).unwrap();
@@ -70,7 +70,7 @@ fn recovery_is_idempotent_across_multiple_reopens() {
     let env = env();
     let vfs = Arc::new(MemVfs::new());
     {
-        let db = Db::open(Options::default(), &env, vfs.clone()).unwrap();
+        let db = Db::builder(Options::default()).env(&env).vfs(vfs.clone()).open().unwrap();
         let mut batch = WriteBatch::new();
         for i in 0..100 {
             batch.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes());
@@ -78,7 +78,7 @@ fn recovery_is_idempotent_across_multiple_reopens() {
         db.write(batch).unwrap();
     }
     for _ in 0..3 {
-        let db = Db::open(Options::default(), &env, vfs.clone()).unwrap();
+        let db = Db::builder(Options::default()).env(&env).vfs(vfs.clone()).open().unwrap();
         assert_eq!(db.get(b"k42").unwrap(), Some(b"v42".to_vec()));
         assert_eq!(db.get(b"k99").unwrap(), Some(b"v99".to_vec()));
     }
@@ -89,7 +89,7 @@ fn reopening_with_different_options_keeps_data() {
     let env = env();
     let vfs = Arc::new(MemVfs::new());
     {
-        let db = Db::open(churn_opts(), &env, vfs.clone()).unwrap();
+        let db = Db::builder(churn_opts()).env(&env).vfs(vfs.clone()).open().unwrap();
         for i in 0..2_000 {
             db.put(format!("key-{i:05}").as_bytes(), b"v").unwrap();
         }
@@ -100,7 +100,7 @@ fn reopening_with_different_options_keeps_data() {
     tuned.set_by_name("bloom_filter_bits_per_key", "10").unwrap();
     tuned.set_by_name("block_cache_size", "64MB").unwrap();
     tuned.set_by_name("compaction_readahead_size", "4MB").unwrap();
-    let db = Db::open(tuned, &env, vfs).unwrap();
+    let db = Db::builder(tuned).env(&env).vfs(vfs).open().unwrap();
     for i in (0..2_000).step_by(37) {
         assert_eq!(db.get(format!("key-{i:05}").as_bytes()).unwrap(), Some(b"v".to_vec()));
     }
@@ -114,7 +114,7 @@ fn forked_stores_are_isolated() {
     let env = env();
     let base = MemVfs::new();
     {
-        let db = Db::open(Options::default(), &env, Arc::new(base.clone())).unwrap();
+        let db = Db::builder(Options::default()).env(&env).vfs(Arc::new(base.clone())).open().unwrap();
         for i in 0..500 {
             db.put(format!("shared-{i}").as_bytes(), b"base").unwrap();
         }
@@ -122,11 +122,11 @@ fn forked_stores_are_isolated() {
     let fork_a = base.fork();
     let fork_b = base.fork();
 
-    let db_a = Db::open(Options::default(), &env, Arc::new(fork_a)).unwrap();
+    let db_a = Db::builder(Options::default()).env(&env).vfs(Arc::new(fork_a)).open().unwrap();
     db_a.put(b"only-in-a", b"1").unwrap();
     db_a.put(b"shared-0", b"overwritten-in-a").unwrap();
 
-    let db_b = Db::open(Options::default(), &env, Arc::new(fork_b)).unwrap();
+    let db_b = Db::builder(Options::default()).env(&env).vfs(Arc::new(fork_b)).open().unwrap();
     assert_eq!(db_b.get(b"only-in-a").unwrap(), None, "fork B never sees A's writes");
     assert_eq!(db_b.get(b"shared-0").unwrap(), Some(b"base".to_vec()));
     assert_eq!(db_a.get(b"shared-0").unwrap(), Some(b"overwritten-in-a".to_vec()));
@@ -139,7 +139,7 @@ fn std_vfs_end_to_end_on_real_files() {
     let vfs = Arc::new(elmo::lsm_kvs::vfs::StdVfs::new(&dir).unwrap());
     let env = env();
     {
-        let db = Db::open(churn_opts(), &env, vfs.clone()).unwrap();
+        let db = Db::builder(churn_opts()).env(&env).vfs(vfs.clone()).open().unwrap();
         for i in 0..3_000 {
             db.put(format!("key-{i:05}").as_bytes(), format!("val-{i}").as_bytes()).unwrap();
         }
@@ -147,7 +147,7 @@ fn std_vfs_end_to_end_on_real_files() {
         db.compact_all().unwrap();
     }
     // Recover from the real directory.
-    let db = Db::open(churn_opts(), &env, vfs).unwrap();
+    let db = Db::builder(churn_opts()).env(&env).vfs(vfs).open().unwrap();
     for i in (0..3_000).step_by(113) {
         assert_eq!(
             db.get(format!("key-{i:05}").as_bytes()).unwrap(),
@@ -168,7 +168,7 @@ fn compaction_styles_all_serve_reads() {
             // enough that nothing is dropped in this test.
             opts.set_by_name("fifo_max_table_files_size", "1GB").unwrap();
         }
-        let db = Db::open_sim(opts, &env).unwrap();
+        let db = Db::builder(opts).env(&env).open().unwrap();
         for i in 0..4_000 {
             db.put(format!("key-{i:05}").as_bytes(), b"v").unwrap();
         }
@@ -193,7 +193,7 @@ fn fifo_actually_drops_old_data_over_budget() {
     // Zero-filled values would compress below the FIFO budget; disable
     // compression so the budget is actually exceeded.
     opts.set_by_name("compression", "none").unwrap();
-    let db = Db::open_sim(opts, &env).unwrap();
+    let db = Db::builder(opts).env(&env).open().unwrap();
     for i in 0..30_000 {
         db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
     }

@@ -12,7 +12,7 @@ fn env(cores: usize, gib: u64, device: DeviceModel) -> HardwareEnv {
 
 fn run(spec: &BenchmarkSpec, opts: Options, cores: usize, gib: u64, device: DeviceModel) -> elmo::db_bench::BenchReport {
     let env = env(cores, gib, device);
-    let db = Db::open(opts, &env, std::sync::Arc::new(elmo::lsm_kvs::vfs::MemVfs::new())).unwrap();
+    let db = Db::builder(opts).env(&env).vfs(std::sync::Arc::new(elmo::lsm_kvs::vfs::MemVfs::new())).open().unwrap();
     run_benchmark(&db, &env, spec, None).unwrap()
 }
 
