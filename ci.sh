@@ -22,4 +22,16 @@ CRASH_DIR="$(mktemp -d)"
 trap 'rm -rf "$CRASH_DIR"' EXIT
 timeout 120 ./target/release/db_bench --crash-loop 25 --db "$CRASH_DIR"
 
+echo "==> observability gate: stats, listeners, dump parsing"
+cargo test -q -p lsm-kvs stats
+cargo test -q -p lsm-kvs listener_fires_once_per_stall_transition
+cargo test -q -p elmo-tune parses_stats_dump_sections
+cargo test -q -p elmo-tune stats_dump
+
+echo "==> determinism gate: repro table5 must be byte-identical run-to-run"
+./target/release/repro table5 > /tmp/ci-table5-a.txt
+./target/release/repro table5 > /tmp/ci-table5-b.txt
+diff /tmp/ci-table5-a.txt /tmp/ci-table5-b.txt
+rm -f /tmp/ci-table5-a.txt /tmp/ci-table5-b.txt
+
 echo "CI OK"

@@ -24,6 +24,16 @@ pub struct ParsedBench {
     pub cache_hit_ratio: Option<f64>,
     /// Write-stall seconds, if reported.
     pub stall_seconds: Option<f64>,
+    /// p99.99 write latency in microseconds, if reported.
+    pub p9999_write_us: Option<f64>,
+    /// p99.99 read latency in microseconds, if reported.
+    pub p9999_read_us: Option<f64>,
+    /// Overall write amplification from the `Compaction Stats` Sum row
+    /// of a `--stats_dump` block, if present.
+    pub write_amp: Option<f64>,
+    /// Stall time as percent of uptime from the `DB Stats` block, if
+    /// present.
+    pub stall_percent: Option<f64>,
     /// The run was aborted early by the monitor.
     pub aborted: bool,
 }
@@ -46,6 +56,12 @@ impl ParsedBench {
         }
         if let Some(v) = self.stall_seconds {
             out.push_str(&format!("\nwrite stall seconds: {v:.3}"));
+        }
+        if let Some(v) = self.write_amp {
+            out.push_str(&format!("\nwrite amplification: {v:.1}x"));
+        }
+        if let Some(v) = self.stall_percent {
+            out.push_str(&format!("\nstall time: {v:.1}% of uptime"));
         }
         if self.aborted {
             out.push_str("\nNOTE: the run was aborted early because throughput collapsed");
@@ -107,6 +123,22 @@ pub fn parse_db_bench_output(text: &str) -> Option<ParsedBench> {
                     Some("read") => parsed.p99_read_us = Some(p99),
                     _ => {}
                 }
+            }
+            if let Some(p9999) = extract_after(t, "P99.99:") {
+                match current_hist {
+                    Some("write") => parsed.p9999_write_us = Some(p9999),
+                    Some("read") => parsed.p9999_read_us = Some(p9999),
+                    _ => {}
+                }
+            }
+        } else if t.starts_with("Cumulative stall:") && t.ends_with("percent") {
+            parsed.stall_percent = last_number(t);
+        } else if t.starts_with("Sum ") || t == "Sum" {
+            // `Compaction Stats [default]` aggregate row: the Size column
+            // is two tokens, putting W-Amp at index 7.
+            let tokens: Vec<&str> = t.split_whitespace().collect();
+            if tokens.len() == 10 {
+                parsed.write_amp = tokens[7].parse().ok();
             }
         } else if t.contains("cache.hit.ratio") {
             if let Some(v) = last_number(t) {
@@ -183,6 +215,53 @@ Percentiles: P50: 200 P75: 800 P99: 1463.61 P99.9: 3000
         assert_eq!(p.p99_write_us, Some(57.32));
         assert_eq!(p.p99_read_us, Some(1463.61));
         assert_eq!(p.worst_p99_us(), Some(1463.61));
+    }
+
+    /// The post-observability output shape: StdDev on the count line,
+    /// P99.99 in the percentiles, and a `--stats_dump` block appended.
+    const SAMPLE_WITH_DUMP: &str = "\
+DB path: [/sim/db]
+fillrandom   :      3.179 micros/op 314568 ops/sec 158.940 seconds 50000000 operations;   34.8 MB/s
+Microseconds per write:
+Count: 50000000 Average: 3.1786 StdDev: 0.85
+Min: 1.00 Median: 2.53 Max: 123456.00
+Percentiles: P50: 2.53 P75: 3.10 P99: 5.82 P99.9: 12.40 P99.99: 44.10
+------------------------------------------------------
+** DB Stats **
+Uptime(secs): 158.9 total
+Cumulative writes: 50000000 writes, 50000000 keys, 50000000 commit groups, 1.0 writes per commit group, ingest: 5.12 GB, 33.01 MB/s
+Cumulative WAL: 50000000 writes, 12 syncs, 4166666.67 writes per sync, written: 5.40 GB
+Cumulative stall: 00:00:12.500 H:M:S, 7.9 percent
+
+** Compaction Stats [default] **
+Level    Files         Size   Score  Read(GB)  Write(GB)  W-Amp  Comp(cnt)   KeyDrop
+------------------------------------------------------------------------------------
+   L0        4     12.00 MB    0.80      0.00       0.50    1.0         12         0
+   L1       10     60.00 MB    0.60      1.20       1.10    0.9          7       123
+  Sum       14     72.00 MB    0.00      1.20       1.60    1.3         19       123
+";
+
+    #[test]
+    fn parses_stats_dump_sections() {
+        let p = parse_db_bench_output(SAMPLE_WITH_DUMP).unwrap();
+        assert_eq!(p.p99_write_us, Some(5.82));
+        assert_eq!(p.p9999_write_us, Some(44.10));
+        assert_eq!(p.stall_percent, Some(7.9));
+        assert_eq!(p.write_amp, Some(1.3));
+        let text = p.to_prompt_text();
+        assert!(text.contains("write amplification: 1.3x"));
+        assert!(text.contains("stall time: 7.9% of uptime"));
+    }
+
+    #[test]
+    fn old_histogram_shape_still_parses() {
+        // Pre-StdDev/P99.99 output must keep parsing (the new fields
+        // just stay None).
+        let p = parse_db_bench_output(SAMPLE).unwrap();
+        assert_eq!(p.p99_write_us, Some(5.82));
+        assert_eq!(p.p9999_write_us, None);
+        assert_eq!(p.write_amp, None);
+        assert_eq!(p.stall_percent, None);
     }
 
     #[test]

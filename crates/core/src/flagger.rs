@@ -151,6 +151,7 @@ mod tests {
             cache_hit_ratio: None,
             stall_seconds: None,
             aborted: false,
+            ..ParsedBench::default()
         }
     }
 

@@ -106,6 +106,10 @@ pub struct PromptContext<'a> {
     pub iteration: usize,
     /// Parsed result of the previous benchmark, if any.
     pub last_result: Option<&'a ParsedBench>,
+    /// Raw engine statistics dump (`Db::stats_text()`) from the previous
+    /// run, when the session opted into `include_stats_dump`. `None`
+    /// keeps the prompt byte-identical with pre-observability sessions.
+    pub stats_dump: Option<&'a str>,
     /// Best throughput seen so far (ops/sec).
     pub best_throughput: Option<f64>,
     /// The previous proposal regressed and was reverted.
@@ -152,6 +156,12 @@ pub fn build_tuning_prompt(ctx: &PromptContext<'_>, budget_chars: usize) -> Stri
         }
         b.section("Previous benchmark result", text, 6);
     }
+    if let Some(dump) = ctx.stats_dump {
+        // Low priority: the parsed datapoints above carry the headline
+        // numbers, so the raw dump is the first thing budget pressure
+        // truncates.
+        b.section("Engine statistics (previous run)", dump.to_string(), 3);
+    }
     if ctx.deteriorated {
         b.section(
             "Feedback",
@@ -196,6 +206,7 @@ mod tests {
             options_ini: &ini,
             iteration: 3,
             last_result: None,
+            stats_dump: None,
             best_throughput: Some(61000.0),
             deteriorated: true,
             violation_feedback: &["disable_wal=true (protected option)".to_string()],
@@ -221,6 +232,31 @@ mod tests {
         ] {
             assert!(p.contains(needle), "missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn stats_dump_section_is_gated() {
+        let env = env();
+        let ini = lsm_kvs::options::ini::to_ini(&lsm_kvs::options::Options::default());
+        let dump = "** DB Stats **\nUptime(secs): 1.0 total";
+        let mut ctx = PromptContext {
+            env: &env,
+            workload: "w",
+            options_ini: &ini,
+            iteration: 1,
+            last_result: None,
+            stats_dump: None,
+            best_throughput: None,
+            deteriorated: false,
+            violation_feedback: &[],
+            max_changes: 10,
+        };
+        let without = build_tuning_prompt(&ctx, 50_000);
+        assert!(!without.contains("Engine statistics"));
+        ctx.stats_dump = Some(dump);
+        let with = build_tuning_prompt(&ctx, 50_000);
+        assert!(with.contains("Engine statistics (previous run)"));
+        assert!(with.contains("** DB Stats **"));
     }
 
     #[test]

@@ -107,6 +107,10 @@ pub struct TuningConfig {
     /// Stop when this many consecutive iterations fail to improve
     /// (`None` = always run all iterations, like the paper's figures).
     pub stop_on_stagnation: Option<usize>,
+    /// Embed the engine's `--stats_dump` output (`Db::stats_text()`) in
+    /// each iteration prompt. Off by default so existing sessions (and
+    /// the `repro` goldens) keep byte-identical prompts.
+    pub include_stats_dump: bool,
 }
 
 impl Default for TuningConfig {
@@ -118,6 +122,7 @@ impl Default for TuningConfig {
             prompt_budget_chars: 16_000,
             early_stop: true,
             stop_on_stagnation: None,
+            include_stats_dump: false,
         }
     }
 }
@@ -392,7 +397,7 @@ impl<'m> TuningSession<'m> {
 
         let measure = |opts: &Options,
                        reference: Option<f64>|
-         -> Result<(ParsedBench, BenchReport, HardwareEnv), SessionError> {
+         -> Result<(ParsedBench, BenchReport, HardwareEnv, Option<String>), SessionError> {
             let env = env_spec.build();
             let vfs: MemVfs = base_vfs.as_ref().map(MemVfs::fork).unwrap_or_default();
             let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(vfs)).open()?;
@@ -406,6 +411,7 @@ impl<'m> TuningSession<'m> {
                     .unwrap_or(MonitorControl::Continue)
             };
             let report = run_benchmark(&db, &env, &run_spec, Some(&mut cb))?;
+            let stats_dump = config.include_stats_dump.then(|| db.stats_text());
             let text = report.to_db_bench_text();
             let parsed = parse_db_bench_output(&text).unwrap_or_else(|| ParsedBench {
                 workload: run_spec.workload.name().to_string(),
@@ -415,11 +421,12 @@ impl<'m> TuningSession<'m> {
                 aborted: report.aborted,
                 ..ParsedBench::default()
             });
-            Ok((parsed, report, env))
+            Ok((parsed, report, env, stats_dump))
         };
 
         // Iteration 0: baseline with the starting configuration.
-        let (baseline_parsed, _baseline_report, mut last_env) = measure(&start, None)?;
+        let (baseline_parsed, _baseline_report, mut last_env, mut last_dump) =
+            measure(&start, None)?;
         let baseline = IterationMetrics::from(&baseline_parsed);
         let mut best_options = start.clone();
         let mut best_parsed = baseline_parsed.clone();
@@ -441,6 +448,7 @@ impl<'m> TuningSession<'m> {
                     options_ini: &options_ini,
                     iteration: index,
                     last_result: Some(&last_parsed),
+                    stats_dump: last_dump.as_deref(),
                     best_throughput: Some(best_parsed.ops_per_sec),
                     deteriorated,
                     violation_feedback: &violation_feedback,
@@ -489,9 +497,10 @@ impl<'m> TuningSession<'m> {
                 continue;
             }
 
-            let (candidate_parsed, _report, env) =
+            let (candidate_parsed, _report, env, dump) =
                 measure(&outcome.options, Some(best_parsed.ops_per_sec))?;
             last_env = env;
+            last_dump = dump;
             let verdict = flagger.judge(&best_parsed, &candidate_parsed);
             let decision = if candidate_parsed.aborted {
                 Decision::AbortedEarly
@@ -663,6 +672,31 @@ mod tests {
             Options::default().write_buffer_size,
             "reverted to default"
         );
+    }
+
+    #[test]
+    fn stats_dump_reaches_prompt_only_when_enabled() {
+        let run = |include: bool| {
+            let mut model = ExpertModel::well_behaved(2);
+            let config = TuningConfig {
+                iterations: 2,
+                include_stats_dump: include,
+                ..TuningConfig::default()
+            };
+            TuningSession::new(hdd_env(), small_fr_spec(), &mut model)
+                .with_config(config)
+                .run(Options::default())
+                .unwrap()
+        };
+        let without = run(false);
+        assert!(
+            without.records.iter().all(|r| !r.prompt.contains("Engine statistics")),
+            "dump must stay out of prompts by default"
+        );
+        let with = run(true);
+        let first = &with.records[0].prompt;
+        assert!(first.contains("Engine statistics (previous run)"), "{first}");
+        assert!(first.contains("Compaction Stats [default]"), "{first}");
     }
 
     #[test]

@@ -38,6 +38,23 @@ impl CacheStats {
     }
 }
 
+/// A mutually consistent view of the whole cache.
+///
+/// Every shard contributes its counters *and* its byte usage from a
+/// single lock acquisition, so derived invariants (e.g. bytes implied by
+/// `inserts - evictions`) hold even while other threads are hitting the
+/// cache. Summing [`BlockCache::stats`] and [`BlockCache::used_bytes`]
+/// separately does not give that guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Aggregated hit/miss/insert/eviction counters.
+    pub stats: CacheStats,
+    /// Total bytes currently cached (including bookkeeping overhead).
+    pub used_bytes: u64,
+    /// Total configured capacity in bytes.
+    pub capacity: u64,
+}
+
 /// Key identifying a cached block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockKey {
@@ -235,7 +252,7 @@ impl BlockCache {
 
     /// Total bytes currently cached.
     pub fn used_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().used_bytes).sum()
+        self.snapshot().used_bytes
     }
 
     /// Total capacity in bytes.
@@ -245,15 +262,25 @@ impl BlockCache {
 
     /// Aggregated hit/miss statistics.
     pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
+        self.snapshot().stats
+    }
+
+    /// Captures counters and byte usage together, reading each shard
+    /// under one lock acquisition so the two stay mutually consistent.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut snap = CacheSnapshot {
+            capacity: self.capacity(),
+            ..CacheSnapshot::default()
+        };
         for s in &self.shards {
-            let st = s.lock().stats;
-            total.hits += st.hits;
-            total.misses += st.misses;
-            total.inserts += st.inserts;
-            total.evictions += st.evictions;
+            let shard = s.lock();
+            snap.stats.hits += shard.stats.hits;
+            snap.stats.misses += shard.stats.misses;
+            snap.stats.inserts += shard.stats.inserts;
+            snap.stats.evictions += shard.stats.evictions;
+            snap.used_bytes += shard.used_bytes;
         }
-        total
+        snap
     }
 
     /// Drops every cached block (used when options change between runs).
@@ -430,6 +457,24 @@ mod tests {
         c.get(&key(9, 9));
         assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent() {
+        let c = BlockCache::new(8192, 2);
+        for i in 0..50 {
+            c.insert(key(i, 0), block(936)); // 936 + 64 = 1000 charged bytes
+            c.get(&key(i, 0));
+        }
+        let snap = c.snapshot();
+        // Distinct fixed-size keys: bytes in cache are exactly the net
+        // insert count times the per-entry charge.
+        assert_eq!(
+            snap.used_bytes,
+            (snap.stats.inserts - snap.stats.evictions) * 1000
+        );
+        assert_eq!(snap.capacity, c.capacity());
+        assert_eq!(snap.stats, c.stats());
     }
 
     #[test]

@@ -209,7 +209,8 @@ mod tests {
             &[Arc::new(mt)],
             TableConfig::default(),
         )
-        .unwrap();
+        .unwrap()
+        .table;
         Arc::new(FileMetadata::new(
             FileNumber(number),
             fin.file_size,

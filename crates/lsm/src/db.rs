@@ -31,17 +31,21 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use crate::batch::WriteBatch;
 use crate::cache::{BlockCache, BlockKey, CacheStats, TableCache};
 use crate::compaction::{
-    pending_compaction_bytes, pick_compaction, run_compaction, CompactionPick,
+    level_targets, pending_compaction_bytes, pick_compaction, run_compaction, CompactionPick,
 };
 use crate::error::{Error, Result};
 use crate::flush::{build_l0_table, sst_file_name};
 use crate::memtable::{MemTable, MemTableGet};
 use crate::options::{ini, Options};
+use crate::listener::{
+    CompactionJobInfo, EventListener, FlushJobInfo, StallConditionsChanged,
+};
 use crate::runtime::{BgShared, PreparedWrite, Runtime};
 use crate::sstable::block::Block;
 use crate::sstable::compress::decompress_cpu_cost;
 use crate::sstable::table::{FinishedTable, TableConfig, TableReader};
-use crate::stats::{Ticker, TickerSnapshot, Tickers};
+use crate::stats::{HistogramKind, Statistics, Ticker, TickerSnapshot};
+use crate::version::CompactionLevelStats;
 use crate::types::{internal_key_cmp, FileNumber, InternalKey, SequenceNumber, ValueType};
 use crate::version::{FileMetadata, Version, VersionEdit};
 use crate::vfs::{MemVfs, Vfs};
@@ -50,6 +54,23 @@ use crate::write_controller::{WriteController, WritePressure, WriteRegime};
 
 const CURRENT_FILE: &str = "CURRENT";
 const CURRENT_TMP_FILE: &str = "CURRENT.tmp";
+
+/// Encodes a [`WriteRegime`] for the atomic transition tracker.
+fn regime_code(r: WriteRegime) -> u8 {
+    match r {
+        WriteRegime::Normal => 0,
+        WriteRegime::Delayed => 1,
+        WriteRegime::Stopped => 2,
+    }
+}
+
+fn regime_from_code(code: u8) -> WriteRegime {
+    match code {
+        1 => WriteRegime::Delayed,
+        2 => WriteRegime::Stopped,
+        _ => WriteRegime::Normal,
+    }
+}
 
 fn wal_file_name(number: u64) -> String {
     format!("{number:06}.log")
@@ -145,6 +166,8 @@ enum EventKind {
         inputs: Vec<(usize, Arc<FileMetadata>)>,
         outputs: Vec<(FileNumber, FinishedTable)>,
         output_level: usize,
+        bytes_read: u64,
+        keys_dropped: u64,
     },
     FifoDropDone {
         files: Vec<Arc<FileMetadata>>,
@@ -320,7 +343,13 @@ struct DbInner {
     state: Mutex<DbState>,
     block_cache: Option<Arc<BlockCache>>,
     table_cache: TableCache<TableReader>,
-    tickers: Tickers,
+    stats: Statistics,
+    listeners: Vec<Arc<dyn EventListener>>,
+    /// Last stall regime reported to listeners (encoded via
+    /// [`regime_code`]); transitions are deduplicated on this value.
+    last_regime: std::sync::atomic::AtomicU8,
+    /// Clock position when the database was opened (drives uptime).
+    opened_at: SimTime,
     controller: WriteController,
     /// `Some` in real-concurrency (wall clock) mode, `None` in simulation.
     runtime: Option<Runtime>,
@@ -408,12 +437,20 @@ impl Drop for Db {
 /// db.put(b"k", b"v").unwrap();
 /// assert_eq!(faults.injected_errors(), 0);
 /// ```
-#[derive(Debug)]
 pub struct DbBuilder {
     opts: Options,
     env: Option<HardwareEnv>,
     vfs: Option<Arc<dyn Vfs>>,
     fault: Option<crate::fault::FaultInjectionVfs>,
+    listeners: Vec<Arc<dyn EventListener>>,
+}
+
+impl std::fmt::Debug for DbBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbBuilder")
+            .field("listeners", &self.listeners.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DbBuilder {
@@ -458,6 +495,15 @@ impl DbBuilder {
         self.fault.clone()
     }
 
+    /// Registers an [`EventListener`] notified of flush/compaction
+    /// completions and stall-regime transitions. May be called multiple
+    /// times; listeners fire in registration order.
+    #[must_use]
+    pub fn listener(mut self, listener: Arc<dyn EventListener>) -> Self {
+        self.listeners.push(listener);
+        self
+    }
+
     /// Opens (creating or recovering) the database.
     ///
     /// # Errors
@@ -471,7 +517,7 @@ impl DbBuilder {
         let vfs = self
             .vfs
             .unwrap_or_else(|| Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
-        Db::open_impl(self.opts, &env, vfs)
+        Db::open_impl(self.opts, &env, vfs, self.listeners)
     }
 }
 
@@ -483,6 +529,7 @@ impl Db {
             env: None,
             vfs: None,
             fault: None,
+            listeners: Vec::new(),
         }
     }
 
@@ -494,7 +541,7 @@ impl Db {
     /// I/O/corruption errors from recovery.
     #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).vfs(vfs).open()`")]
     pub fn open(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
-        Self::open_impl(opts, env, vfs)
+        Self::open_impl(opts, env, vfs, Vec::new())
     }
 
     /// Opens (creating or recovering) a database on `vfs` under `env`.
@@ -503,7 +550,12 @@ impl Db {
     /// clock selects the single-threaded discrete-event mode, a wall
     /// clock selects real-concurrency mode (group commit + background
     /// worker pool).
-    fn open_impl(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
+    fn open_impl(
+        opts: Options,
+        env: &HardwareEnv,
+        vfs: Arc<dyn Vfs>,
+        listeners: Vec<Arc<dyn EventListener>>,
+    ) -> Result<Db> {
         opts.validate()?;
         let controller = WriteController::from_options(&opts);
         let block_cache = if opts.no_block_cache {
@@ -534,7 +586,10 @@ impl Db {
                 state: Mutex::new(state),
                 block_cache,
                 table_cache,
-                tickers: Tickers::new(),
+                stats: Statistics::new(),
+                listeners,
+                last_regime: std::sync::atomic::AtomicU8::new(regime_code(WriteRegime::Normal)),
+                opened_at: env.clock().now(),
                 controller,
                 runtime,
                 handles: std::sync::atomic::AtomicUsize::new(1),
@@ -567,7 +622,7 @@ impl Db {
     /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for inconsistent options.
     #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).open()`")]
     pub fn open_sim(opts: Options, env: &HardwareEnv) -> Result<Db> {
-        Self::open_impl(opts, env, Arc::new(MemVfs::new()))
+        Self::open_impl(opts, env, Arc::new(MemVfs::new()), Vec::new())
     }
 
     /// The options this database runs with.
@@ -816,11 +871,17 @@ impl Db {
         if batch.is_empty() {
             return Ok(());
         }
-        if self.inner.runtime.is_some() {
+        let started = self.inner.env.clock().now();
+        let result = if self.inner.runtime.is_some() {
             self.write_real(write_opts, batch)
         } else {
             self.write_sim(write_opts, batch)
-        }
+        };
+        self.inner.stats.record(
+            HistogramKind::DbWrite,
+            self.inner.env.clock().now().saturating_since(started),
+        );
+        result
     }
 
     fn write_sim(&self, write_opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
@@ -840,19 +901,20 @@ impl Db {
                 return Err(Error::busy("write stall did not clear"));
             }
             let regime = inner.controller.regime(&inner.pressure(&state));
+            inner.note_regime(regime);
             match regime {
                 WriteRegime::Normal => break,
                 WriteRegime::Delayed => {
-                    inner.tickers.inc(Ticker::WriteSlowdowns);
+                    inner.stats.tickers().inc(Ticker::WriteSlowdowns);
                     let delay = inner.controller.delay_for(batch_bytes);
                     inner.env.clock().advance(delay);
-                    inner.tickers.add(Ticker::StallNanos, delay.as_nanos());
+                    inner.stats.tickers().add(Ticker::StallNanos, delay.as_nanos());
                     now = inner.env.clock().now();
                     inner.pump_events(&mut state, now)?;
                     break;
                 }
                 WriteRegime::Stopped => {
-                    inner.tickers.inc(Ticker::WriteStops);
+                    inner.stats.tickers().inc(Ticker::WriteStops);
                     // Schedule-then-wait: make sure any claimable relief
                     // work is in flight *before* deciding whether to wait
                     // or give up, so a queued background completion can
@@ -866,7 +928,7 @@ impl Db {
                     };
                     let wait = next.saturating_since(now);
                     inner.env.clock().advance_to(next);
-                    inner.tickers.add(Ticker::StallNanos, wait.as_nanos());
+                    inner.stats.tickers().add(Ticker::StallNanos, wait.as_nanos());
                     now = inner.env.clock().now();
                     inner.pump_events(&mut state, now)?;
                     // The head event was consumed: that is real progress,
@@ -895,7 +957,8 @@ impl Db {
                 }
                 return Err(e);
             }
-            inner.tickers.add(Ticker::WalBytes, record_len);
+            inner.stats.tickers().add(Ticker::WalBytes, record_len);
+            inner.stats.tickers().inc(Ticker::WalWrites);
             cpu += inner.cost.wal_record_cpu
                 + SimDuration::from_nanos(
                     (record_len as f64 * inner.cost.wal_per_byte_cpu_ns) as u64,
@@ -909,12 +972,12 @@ impl Db {
                 let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
                 let done = inner.env.device().submit_sync(done);
                 inner.env.clock().advance_to(done);
-                inner.tickers.inc(Ticker::WalSyncs);
+                inner.stats.tickers().inc(Ticker::WalSyncs);
             } else if per_sync > 0 && wal.bytes_since_sync() >= per_sync {
                 let chunk = wal.bytes_since_sync();
                 wal.sync()?;
                 let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
-                inner.tickers.inc(Ticker::WalSyncs);
+                inner.stats.tickers().inc(Ticker::WalSyncs);
                 if inner.opts.strict_bytes_per_sync {
                     inner.env.clock().advance_to(done);
                 }
@@ -929,7 +992,7 @@ impl Db {
                         AccessPattern::Sequential,
                     );
                     state.dirty_wal_bytes = 0;
-                    inner.tickers.inc(Ticker::WalSyncs);
+                    inner.stats.tickers().inc(Ticker::WalSyncs);
                 }
             }
         }
@@ -943,8 +1006,8 @@ impl Db {
                 inserted_bytes += (key.len() + value.len()) as u64;
             }
         }
-        inner.tickers.add(Ticker::KeysWritten, batch.len() as u64);
-        inner.tickers.add(Ticker::BytesWritten, inserted_bytes);
+        inner.stats.tickers().add(Ticker::KeysWritten, batch.len() as u64);
+        inner.stats.tickers().add(Ticker::BytesWritten, inserted_bytes);
         cpu += SimDuration::from_nanos(
             (inserted_bytes as f64 * inner.cost.write_per_byte_cpu_ns) as u64,
         );
@@ -1056,6 +1119,7 @@ impl Db {
     /// Propagates I/O and corruption errors from table reads.
     pub fn get_opt(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let inner = &*self.inner;
+        let started = inner.env.clock().now();
         let (mem, imm, version, snapshot) = {
             let mut state = inner.state.lock();
             if inner.runtime.is_none() {
@@ -1088,11 +1152,11 @@ impl Db {
 
         match mem.read().get(key, snapshot) {
             MemTableGet::Found(v) => {
-                inner.tickers.inc(Ticker::MemtableHit);
+                inner.stats.tickers().inc(Ticker::MemtableHit);
                 found = Some(Some(v));
             }
             MemTableGet::Deleted => {
-                inner.tickers.inc(Ticker::MemtableHit);
+                inner.stats.tickers().inc(Ticker::MemtableHit);
                 found = Some(None);
             }
             MemTableGet::NotFound => {}
@@ -1114,7 +1178,7 @@ impl Db {
             }
         }
         if found.is_none() {
-            inner.tickers.inc(Ticker::MemtableMiss);
+            inner.stats.tickers().inc(Ticker::MemtableMiss);
             found = inner.search_tables(&version, key, snapshot, ropts, &mut cpu)?;
         }
 
@@ -1128,14 +1192,17 @@ impl Db {
         factor *= inner.env.memory().penalty_factor();
         inner.env.clock().advance(cpu.mul_f64(factor));
 
-        inner.tickers.inc(Ticker::KeysRead);
+        inner.stats.tickers().inc(Ticker::KeysRead);
+        inner
+            .stats
+            .record(HistogramKind::DbGet, inner.env.clock().now().saturating_since(started));
         match found {
             Some(Some(v)) => {
-                inner.tickers.inc(Ticker::GetHit);
+                inner.stats.tickers().inc(Ticker::GetHit);
                 Ok(Some(v))
             }
             _ => {
-                inner.tickers.inc(Ticker::GetMiss);
+                inner.stats.tickers().inc(Ticker::GetMiss);
                 Ok(None)
             }
         }
@@ -1260,7 +1327,7 @@ impl Db {
         let factor =
             inner.foreground_contention(inner.env.clock().now()) * inner.env.memory().penalty_factor();
         inner.env.clock().advance(cpu.mul_f64(factor));
-        inner.tickers.add(Ticker::KeysRead, out.len() as u64);
+        inner.stats.tickers().add(Ticker::KeysRead, out.len() as u64);
         Ok(out)
     }
 
@@ -1447,17 +1514,18 @@ impl Db {
             .map(|l| (state.version.files(l).len(), state.version.level_bytes(l)))
             .collect();
         let memtable_bytes = state.mem.read().approximate_memory_usage() as u64 + state.imm_bytes();
+        let cache_snap = inner
+            .block_cache
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or_default();
         DbStats {
-            tickers: inner.tickers.snapshot(),
+            tickers: inner.stats.tickers().snapshot(),
             levels,
             memtable_bytes,
             immutable_memtables: state.imm.len(),
-            block_cache: inner
-                .block_cache
-                .as_ref()
-                .map(|c| c.stats())
-                .unwrap_or_default(),
-            block_cache_capacity: inner.block_cache.as_ref().map(|c| c.capacity()).unwrap_or(0),
+            block_cache: cache_snap.stats,
+            block_cache_capacity: cache_snap.capacity,
             pending_compaction_bytes: state.pending_compaction_bytes,
             running_background_jobs: state.running_flushes + state.running_compactions,
             last_sequence: state.last_seq,
@@ -1475,6 +1543,172 @@ impl Db {
                 .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
+
+    /// Renders a RocksDB-style statistics dump: a `DB Stats` block, the
+    /// per-level `Compaction Stats [default]` table, and one line per
+    /// latency histogram.
+    ///
+    /// Works identically in both execution modes (the simulated clock
+    /// reports wall time when the database runs in real-concurrency
+    /// mode), so harness output is parseable either way.
+    pub fn stats_text(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = &*self.inner;
+        let now = inner.env.clock().now();
+        let uptime_secs = now.saturating_since(inner.opened_at).as_secs_f64().max(1e-9);
+        let t = inner.stats.tickers();
+        let mut out = String::new();
+
+        // -- DB Stats ---------------------------------------------------
+        // In real mode the leader appends a whole group with one vectored
+        // WAL write, so `WalWrites` counts groups, not user writes;
+        // `GroupCommitBatches` carries the user-write count there. Sim
+        // mode commits each write individually (`GroupCommitBatches`
+        // stays 0), so the WAL append count *is* the write count.
+        let wal_writes = t.get(Ticker::WalWrites);
+        let writes = match t.get(Ticker::GroupCommitBatches) {
+            0 => wal_writes,
+            b => b,
+        };
+        let keys = t.get(Ticker::KeysWritten);
+        let groups = match t.get(Ticker::GroupCommits) {
+            0 => writes,
+            g => g,
+        };
+        let ingest = t.get(Ticker::BytesWritten);
+        let wal_bytes = t.get(Ticker::WalBytes);
+        let wal_syncs = t.get(Ticker::WalSyncs);
+        let stall = SimDuration::from_nanos(t.get(Ticker::StallNanos));
+        let stall_secs = stall.as_secs_f64();
+        let _ = writeln!(out, "** DB Stats **");
+        let _ = writeln!(out, "Uptime(secs): {uptime_secs:.1} total");
+        let _ = writeln!(
+            out,
+            "Cumulative writes: {writes} writes, {keys} keys, {groups} commit groups, \
+             {:.1} writes per commit group, ingest: {:.2} GB, {:.2} MB/s",
+            writes as f64 / groups.max(1) as f64,
+            ingest as f64 / GB,
+            ingest as f64 / MB / uptime_secs,
+        );
+        let _ = writeln!(
+            out,
+            "Cumulative WAL: {wal_writes} writes, {wal_syncs} syncs, \
+             {:.2} writes per sync, written: {:.2} GB",
+            wal_writes as f64 / wal_syncs.max(1) as f64,
+            wal_bytes as f64 / GB,
+        );
+        let _ = writeln!(
+            out,
+            "Cumulative stall: {}, {:.1} percent",
+            format_hms(stall),
+            100.0 * stall_secs / uptime_secs,
+        );
+
+        // -- Compaction Stats -------------------------------------------
+        let per_level = {
+            let state = inner.state.lock();
+            let targets = level_targets(&inner.opts, &state.version);
+            state.version.compaction_stats(
+                &inner.stats.level_io(),
+                &targets,
+                inner.opts.level0_file_num_compaction_trigger.max(1) as usize,
+            )
+        };
+        let _ = writeln!(out, "\n** Compaction Stats [default] **");
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>12} {:>7} {:>9} {:>10} {:>6} {:>10} {:>9}",
+            "Level", "Files", "Size", "Score", "Read(GB)", "Write(GB)", "W-Amp", "Comp(cnt)", "KeyDrop"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(84));
+        let mut sum = CompactionLevelStats::default();
+        for ls in &per_level {
+            sum.files += ls.files;
+            sum.bytes += ls.bytes;
+            sum.bytes_read += ls.bytes_read;
+            sum.bytes_written += ls.bytes_written;
+            sum.jobs += ls.jobs;
+            sum.keys_dropped += ls.keys_dropped;
+            let _ = writeln!(out, "{}", compaction_stats_row(&format!("L{}", ls.level), ls));
+        }
+        sum.write_amp = if sum.bytes_read > 0 {
+            sum.bytes_written as f64 / sum.bytes_read as f64
+        } else if sum.bytes_written > 0 {
+            1.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{}", compaction_stats_row("Sum", &sum));
+
+        // -- Histograms -------------------------------------------------
+        let _ = writeln!(out, "\n** Level latency histograms (micros) **");
+        for kind in [
+            HistogramKind::DbGet,
+            HistogramKind::DbWrite,
+            HistogramKind::FlushTime,
+            HistogramKind::CompactionTime,
+            HistogramKind::SstReadMicros,
+        ] {
+            let h = inner.stats.histogram(kind);
+            let _ = writeln!(
+                out,
+                "rocksdb.{} P50 : {:.2} P75 : {:.2} P99 : {:.2} P99.9 : {:.2} \
+                 P99.99 : {:.2} P100 : {:.2} COUNT : {} AVG : {:.2} STDDEV : {:.2}",
+                crate::stats::HISTOGRAM_NAMES[kind as usize],
+                h.p50.as_micros_f64(),
+                h.p75.as_micros_f64(),
+                h.p99.as_micros_f64(),
+                h.p999.as_micros_f64(),
+                h.p9999.as_micros_f64(),
+                h.max.as_micros_f64(),
+                h.count,
+                h.mean.as_micros_f64(),
+                h.stddev.as_micros_f64(),
+            );
+        }
+        out
+    }
+}
+
+const KB: f64 = 1024.0;
+const MB: f64 = 1024.0 * 1024.0;
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// `H:M:S.millis` rendering used by the stall line of the stats dump.
+fn format_hms(d: SimDuration) -> String {
+    let total = d.as_secs_f64();
+    let h = (total / 3600.0) as u64;
+    let m = ((total % 3600.0) / 60.0) as u64;
+    let s = total % 60.0;
+    format!("{h:02}:{m:02}:{s:06.3} H:M:S")
+}
+
+/// A human-readable byte count as exactly two whitespace-separated
+/// tokens (value and unit), keeping dump rows token-parseable.
+fn format_size(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.2} MB", b / MB)
+    } else {
+        format!("{:.2} KB", b / KB)
+    }
+}
+
+/// One aligned row of the `Compaction Stats [default]` table.
+fn compaction_stats_row(label: &str, ls: &CompactionLevelStats) -> String {
+    format!(
+        "{label:>5} {:>8} {:>12} {:>7.2} {:>9.2} {:>10.2} {:>6.1} {:>10} {:>9}",
+        ls.files,
+        format_size(ls.bytes),
+        ls.score,
+        ls.bytes_read as f64 / GB,
+        ls.bytes_written as f64 / GB,
+        ls.write_amp,
+        ls.jobs,
+        ls.keys_dropped,
+    )
 }
 
 fn memtable_bloom_bytes(opts: &Options) -> usize {
@@ -1572,6 +1806,36 @@ impl DbState {
 }
 
 impl DbInner {
+    /// Records the current write regime and fires
+    /// `on_stall_conditions_changed` exactly once per transition.
+    fn note_regime(&self, current: WriteRegime) {
+        let code = regime_code(current);
+        let prev = self
+            .last_regime
+            .swap(code, std::sync::atomic::Ordering::Relaxed);
+        if prev != code {
+            let info = StallConditionsChanged {
+                previous: regime_from_code(prev),
+                current,
+            };
+            for l in &self.listeners {
+                l.on_stall_conditions_changed(&info);
+            }
+        }
+    }
+
+    fn notify_flush_completed(&self, info: &FlushJobInfo) {
+        for l in &self.listeners {
+            l.on_flush_completed(info);
+        }
+    }
+
+    fn notify_compaction_completed(&self, info: &CompactionJobInfo) {
+        for l in &self.listeners {
+            l.on_compaction_completed(info);
+        }
+    }
+
     fn table_config(&self) -> TableConfig {
         TableConfig {
             block_size: self.opts.block_size as usize,
@@ -1734,7 +1998,10 @@ impl DbInner {
             let records: Vec<&[u8]> = group.iter().map(|(_, p)| p.record.as_slice()).collect();
             let wal = state.wal.as_mut().expect("wal enabled");
             match wal.add_records(&records) {
-                Ok(appended) => self.tickers.add(Ticker::WalBytes, appended),
+                Ok(appended) => {
+                    self.stats.tickers().add(Ticker::WalBytes, appended);
+                    self.stats.tickers().inc(Ticker::WalWrites);
+                }
                 Err(e) if e.is_retryable() => {
                     if let Err(rot) = self.rotate_wal(&mut state) {
                         rt.set_fatal(rot);
@@ -1759,8 +2026,8 @@ impl DbInner {
             self.apply_group_to_memtable(&state, group);
             rt.publish_visible(last_seq);
         }
-        self.tickers.inc(Ticker::GroupCommits);
-        self.tickers.add(Ticker::GroupCommitBatches, group.len() as u64);
+        self.stats.tickers().inc(Ticker::GroupCommits);
+        self.stats.tickers().add(Ticker::GroupCommitBatches, group.len() as u64);
 
         // Memtable switch triggers (mirrors the sim write path).
         let mem_bytes = state.mem.read().approximate_memory_usage() as u64;
@@ -1796,10 +2063,12 @@ impl DbInner {
     ) -> Result<()> {
         let mut stopped_for = Duration::ZERO;
         loop {
-            match self.controller.regime(&self.pressure(state)) {
+            let regime = self.controller.regime(&self.pressure(state));
+            self.note_regime(regime);
+            match regime {
                 WriteRegime::Normal => return Ok(()),
                 WriteRegime::Delayed => {
-                    self.tickers.inc(Ticker::WriteSlowdowns);
+                    self.stats.tickers().inc(Ticker::WriteSlowdowns);
                     rt.bg.kick();
                     let delay = Duration::from_nanos(
                         self.controller.delay_for(group_bytes).as_nanos(),
@@ -1807,12 +2076,13 @@ impl DbInner {
                     .min(Duration::from_millis(100));
                     let start = std::time::Instant::now();
                     rt.done_cv.wait_for(state, delay);
-                    self.tickers
+                    self.stats
+                        .tickers()
                         .add(Ticker::StallNanos, start.elapsed().as_nanos() as u64);
                     return Ok(());
                 }
                 WriteRegime::Stopped => {
-                    self.tickers.inc(Ticker::WriteStops);
+                    self.stats.tickers().inc(Ticker::WriteStops);
                     if stopped_for >= REAL_STALL_TIMEOUT {
                         return Err(Error::busy("write stall did not clear"));
                     }
@@ -1821,7 +2091,7 @@ impl DbInner {
                     rt.done_cv.wait_for(state, Duration::from_millis(100));
                     let waited = start.elapsed();
                     stopped_for += waited;
-                    self.tickers.add(Ticker::StallNanos, waited.as_nanos() as u64);
+                    self.stats.tickers().add(Ticker::StallNanos, waited.as_nanos() as u64);
                 }
             }
         }
@@ -1854,7 +2124,7 @@ impl DbInner {
                     }
                 }
             }
-            self.tickers.inc(Ticker::WalSyncs);
+            self.stats.tickers().inc(Ticker::WalSyncs);
         }
         Ok(())
     }
@@ -1873,8 +2143,8 @@ impl DbInner {
                 }
             }
         }
-        self.tickers.add(Ticker::KeysWritten, keys);
-        self.tickers.add(Ticker::BytesWritten, payload);
+        self.stats.tickers().add(Ticker::KeysWritten, keys);
+        self.stats.tickers().add(Ticker::BytesWritten, payload);
     }
 
     // -----------------------------------------------------------------
@@ -2024,9 +2294,10 @@ impl DbInner {
     /// Builds the L0 table off-lock, then installs the version edit
     /// under a short critical section.
     fn real_run_flush(&self, file_number: FileNumber, mems: Vec<Arc<MemTable>>) -> Result<()> {
+        let flush_started = self.env.clock().now();
         let built = build_l0_table(self.vfs.as_ref(), file_number, &mems, self.table_config());
         let mut state = self.state.lock();
-        let finished = match built {
+        let output = match built {
             Ok(f) => f,
             Err(e) => {
                 for entry in state.imm.iter_mut() {
@@ -2039,8 +2310,14 @@ impl DbInner {
                 return Err(e);
             }
         };
-        self.tickers.inc(Ticker::FlushJobs);
-        self.tickers.add(Ticker::FlushBytesWritten, finished.file_size);
+        let finished = &output.table;
+        self.stats.tickers().inc(Ticker::FlushJobs);
+        self.stats.tickers().add(Ticker::FlushBytesWritten, finished.file_size);
+        self.stats.add_level_io(0, 0, finished.file_size, output.entries_dropped);
+        self.stats.record(
+            HistogramKind::FlushTime,
+            self.env.clock().now().saturating_since(flush_started),
+        );
         let meta = Arc::new(FileMetadata::new(
             file_number,
             finished.file_size,
@@ -2086,12 +2363,20 @@ impl DbInner {
         state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
         self.account_memory(&state);
         self.sweep_obsolete(&mut state);
+        drop(state);
+        self.notify_flush_completed(&FlushJobInfo {
+            file_number,
+            file_size: output.table.file_size,
+            num_entries: output.table.properties.num_entries,
+            memtables_merged: mems.len(),
+        });
         Ok(())
     }
 
     /// Runs a claimed merge off-lock (output file numbers are allocated
     /// through short re-locks), then installs the edit.
     fn real_run_merge(&self, _rt: &Runtime, job: MergeJob) -> Result<()> {
+        let merge_started = self.env.clock().now();
         let files: Vec<Arc<FileMetadata>> =
             job.inputs.iter().map(|(_, f)| Arc::clone(f)).collect();
         let output = run_compaction(
@@ -2116,10 +2401,23 @@ impl DbInner {
                 return Err(e);
             }
         };
-        self.tickers.inc(Ticker::CompactionJobs);
-        self.tickers.add(Ticker::CompactionBytesRead, output.bytes_read);
-        self.tickers
+        let keys_dropped = output.entries_read - output.entries_written;
+        self.stats.tickers().inc(Ticker::CompactionJobs);
+        self.stats.tickers().add(Ticker::CompactionBytesRead, output.bytes_read);
+        self.stats
+            .tickers()
             .add(Ticker::CompactionBytesWritten, output.bytes_written);
+        self.stats.tickers().add(Ticker::CompactionKeyDropped, keys_dropped);
+        self.stats.add_level_io(
+            job.output_level,
+            output.bytes_read,
+            output.bytes_written,
+            keys_dropped,
+        );
+        self.stats.record(
+            HistogramKind::CompactionTime,
+            self.env.clock().now().saturating_since(merge_started),
+        );
 
         let mut state = self.state.lock();
         let mut edit = VersionEdit {
@@ -2152,6 +2450,15 @@ impl DbInner {
         state.running_compactions -= 1;
         state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
         self.sweep_obsolete(&mut state);
+        drop(state);
+        self.notify_compaction_completed(&CompactionJobInfo {
+            output_level: job.output_level,
+            input_files: job.inputs.len(),
+            output_files: output.files.len(),
+            bytes_read: output.bytes_read,
+            bytes_written: output.bytes_written,
+            keys_dropped,
+        });
         Ok(())
     }
 
@@ -2183,7 +2490,7 @@ impl DbInner {
             if Arc::strong_count(&f) == 1 {
                 let _ = self.vfs.delete(&sst_file_name(f.number));
                 self.table_cache.evict(f.number);
-                self.tickers.inc(Ticker::FilesDeleted);
+                self.stats.tickers().inc(Ticker::FilesDeleted);
             } else {
                 state.obsolete_files.push(f);
             }
@@ -2228,7 +2535,7 @@ impl DbInner {
             let file_number = self.alloc_file_number(state);
 
             // Build the table eagerly; account its cost on the hardware.
-            let finished = match build_l0_table(
+            let built = match build_l0_table(
                 self.vfs.as_ref(),
                 file_number,
                 &mems,
@@ -2243,6 +2550,8 @@ impl DbInner {
                     return Err(e);
                 }
             };
+            let entries_dropped = built.entries_dropped;
+            let finished = built.table;
 
             let raw = finished.properties.raw_bytes;
             let cpu_cost = SimDuration::from_secs_f64(raw as f64 / self.cost.flush_cpu_bps)
@@ -2258,8 +2567,12 @@ impl DbInner {
             }
             let end = slot.start + (end - slot.start).mul_f64(self.env.memory().penalty_factor());
 
-            self.tickers.inc(Ticker::FlushJobs);
-            self.tickers.add(Ticker::FlushBytesWritten, finished.file_size);
+            self.stats.tickers().inc(Ticker::FlushJobs);
+            self.stats.tickers().add(Ticker::FlushBytesWritten, finished.file_size);
+            self.stats
+                .add_level_io(0, 0, finished.file_size, entries_dropped);
+            self.stats
+                .record(HistogramKind::FlushTime, end.saturating_since(now));
             state.running_flushes += 1;
             let mems_consumed = take.len();
             self.push_event(
@@ -2430,9 +2743,19 @@ impl DbInner {
         }
         let end = start + (end - start).mul_f64(self.env.memory().penalty_factor());
 
-        self.tickers.inc(Ticker::CompactionJobs);
-        self.tickers.add(Ticker::CompactionBytesRead, output.bytes_read);
-        self.tickers.add(Ticker::CompactionBytesWritten, output.bytes_written);
+        let keys_dropped = output.entries_read - output.entries_written;
+        self.stats.tickers().inc(Ticker::CompactionJobs);
+        self.stats.tickers().add(Ticker::CompactionBytesRead, output.bytes_read);
+        self.stats.tickers().add(Ticker::CompactionBytesWritten, output.bytes_written);
+        self.stats.tickers().add(Ticker::CompactionKeyDropped, keys_dropped);
+        self.stats.add_level_io(
+            output_level,
+            output.bytes_read,
+            output.bytes_written,
+            keys_dropped,
+        );
+        self.stats
+            .record(HistogramKind::CompactionTime, end.saturating_since(now));
         state.running_compactions += 1;
         self.push_event(
             state,
@@ -2441,6 +2764,8 @@ impl DbInner {
                 inputs: c.inputs,
                 outputs: output.files,
                 output_level,
+                bytes_read: output.bytes_read,
+                keys_dropped,
             },
         );
 
@@ -2466,8 +2791,18 @@ impl DbInner {
                     inputs,
                     outputs,
                     output_level,
+                    bytes_read,
+                    keys_dropped,
                 } => {
-                    self.apply_compaction_done(state, event.at, inputs, outputs, output_level)?;
+                    self.apply_compaction_done(
+                        state,
+                        event.at,
+                        inputs,
+                        outputs,
+                        output_level,
+                        bytes_read,
+                        keys_dropped,
+                    )?;
                 }
                 EventKind::FifoDropDone { files } => {
                     self.apply_fifo_drop(state, event.at, files)?;
@@ -2532,11 +2867,18 @@ impl DbInner {
         state.running_flushes -= 1;
         state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
         self.account_memory(state);
+        self.notify_flush_completed(&FlushJobInfo {
+            file_number,
+            file_size: finished.file_size,
+            num_entries: finished.properties.num_entries,
+            memtables_merged: mems_consumed,
+        });
         self.maybe_schedule_flush(state, at)?;
         self.maybe_schedule_compaction(state, at)?;
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply_compaction_done(
         &self,
         state: &mut DbState,
@@ -2544,6 +2886,8 @@ impl DbInner {
         inputs: Vec<(usize, Arc<FileMetadata>)>,
         outputs: Vec<(FileNumber, FinishedTable)>,
         output_level: usize,
+        bytes_read: u64,
+        keys_dropped: u64,
     ) -> Result<()> {
         let mut edit = VersionEdit {
             next_file_number: Some(state.next_file),
@@ -2572,10 +2916,18 @@ impl DbInner {
             f.set_being_compacted(false);
             let _ = self.vfs.delete(&sst_file_name(f.number));
             self.table_cache.evict(f.number);
-            self.tickers.inc(Ticker::FilesDeleted);
+            self.stats.tickers().inc(Ticker::FilesDeleted);
         }
         state.running_compactions -= 1;
         state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        self.notify_compaction_completed(&CompactionJobInfo {
+            output_level,
+            input_files: inputs.len(),
+            output_files: outputs.len(),
+            bytes_read,
+            bytes_written: outputs.iter().map(|(_, fin)| fin.file_size).sum(),
+            keys_dropped,
+        });
         self.maybe_schedule_compaction(state, at)?;
         Ok(())
     }
@@ -2596,7 +2948,7 @@ impl DbInner {
             f.set_being_compacted(false);
             let _ = self.vfs.delete(&sst_file_name(f.number));
             self.table_cache.evict(f.number);
-            self.tickers.inc(Ticker::FilesDeleted);
+            self.stats.tickers().inc(Ticker::FilesDeleted);
         }
         state.running_compactions -= 1;
         self.maybe_schedule_compaction(state, at)?;
@@ -2642,8 +2994,10 @@ impl DbInner {
         }
         self.env.clock().advance_to(done);
         *cpu += SimDuration::from_micros(3); // parse footer/index/filter
-        self.tickers.inc(Ticker::TableOpens);
-        self.tickers.add(Ticker::BytesRead, bytes_read);
+        self.stats.tickers().inc(Ticker::TableOpens);
+        self.stats.tickers().add(Ticker::BytesRead, bytes_read);
+        self.stats
+            .record(HistogramKind::SstReadMicros, done.saturating_since(now));
         let reader = Arc::new(reader);
         if self.opts.cache_index_and_filter_blocks {
             if let Some(cache) = &self.block_cache {
@@ -2680,11 +3034,11 @@ impl DbInner {
         };
         if let Some(cache) = &self.block_cache {
             if let Some(b) = cache.get(&key) {
-                self.tickers.inc(Ticker::BlockCacheHit);
+                self.stats.tickers().inc(Ticker::BlockCacheHit);
                 *cpu += self.cost.cache_hit_cpu;
                 return Ok(b);
             }
-            self.tickers.inc(Ticker::BlockCacheMiss);
+            self.stats.tickers().inc(Ticker::BlockCacheMiss);
         }
         let fetch = reader.read_block_with(handle, ropts.verify_checksums)?;
         let now = self.env.clock().now();
@@ -2693,7 +3047,9 @@ impl DbInner {
             .device()
             .submit_read(now, fetch.io_bytes, AccessPattern::Random);
         self.env.clock().advance_to(done);
-        self.tickers.add(Ticker::BytesRead, fetch.io_bytes);
+        self.stats.tickers().add(Ticker::BytesRead, fetch.io_bytes);
+        self.stats
+            .record(HistogramKind::SstReadMicros, done.saturating_since(now));
         if fetch.was_compressed {
             *cpu += decompress_cpu_cost(self.opts.compression, fetch.data.len());
         }
@@ -2757,10 +3113,10 @@ impl DbInner {
     ) -> Result<Option<Option<Vec<u8>>>> {
         let reader = self.open_table(file, cpu)?;
         if reader.has_filter() {
-            self.tickers.inc(Ticker::BloomChecked);
+            self.stats.tickers().inc(Ticker::BloomChecked);
             *cpu += self.cost.bloom_check_cpu;
             if !reader.may_contain(user_key) {
-                self.tickers.inc(Ticker::BloomUseful);
+                self.stats.tickers().inc(Ticker::BloomUseful);
                 return Ok(None);
             }
         }
@@ -3212,6 +3568,104 @@ mod tests {
             "aggressive triggers cause throttling"
         );
         assert!(stats.tickers.get(Ticker::StallNanos) > 0);
+    }
+
+    /// Collects every callback for the listener tests.
+    #[derive(Default)]
+    struct RecordingListener {
+        flushes: Mutex<Vec<crate::listener::FlushJobInfo>>,
+        compactions: Mutex<Vec<crate::listener::CompactionJobInfo>>,
+        stalls: Mutex<Vec<(WriteRegime, WriteRegime)>>,
+    }
+
+    impl crate::listener::EventListener for RecordingListener {
+        fn on_flush_completed(&self, info: &crate::listener::FlushJobInfo) {
+            self.flushes.lock().push(info.clone());
+        }
+        fn on_compaction_completed(&self, info: &crate::listener::CompactionJobInfo) {
+            self.compactions.lock().push(info.clone());
+        }
+        fn on_stall_conditions_changed(&self, info: &crate::listener::StallConditionsChanged) {
+            self.stalls.lock().push((info.previous, info.current));
+        }
+    }
+
+    #[test]
+    fn listener_fires_once_per_stall_transition() {
+        let env = env();
+        let mut opts = small_opts();
+        opts.level0_slowdown_writes_trigger = 2;
+        opts.level0_stop_writes_trigger = 4;
+        opts.max_background_jobs = 1;
+        let listener = Arc::new(RecordingListener::default());
+        let db = Db::builder(opts)
+            .env(&env)
+            .listener(listener.clone())
+            .open()
+            .unwrap();
+        for i in 0..20_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        let stalls = listener.stalls.lock().clone();
+        assert!(!stalls.is_empty(), "aggressive triggers produce transitions");
+        // Exactly once per transition: no self-transitions, and each
+        // event continues where the previous one left off.
+        let mut prev = WriteRegime::Normal;
+        for (from, to) in &stalls {
+            assert_ne!(from, to, "self-transition reported");
+            assert_eq!(*from, prev, "transition chain broken");
+            prev = *to;
+        }
+        assert!(
+            stalls.iter().any(|(_, to)| *to != WriteRegime::Normal),
+            "at least one transition into a throttled regime"
+        );
+        let flushes = listener.flushes.lock();
+        assert!(!flushes.is_empty(), "flushes observed");
+        for f in flushes.iter() {
+            assert!(f.file_size > 0);
+            assert!(f.num_entries > 0);
+            assert!(f.memtables_merged > 0);
+        }
+        for c in listener.compactions.lock().iter() {
+            assert!(c.input_files > 0);
+            assert!(c.bytes_read > 0);
+        }
+        assert!(db.stats().tickers.get(Ticker::StallNanos) > 0);
+    }
+
+    #[test]
+    fn stats_text_renders_rocksdb_shape() {
+        let env = env();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
+        for i in 0..5_000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..200 {
+            let _ = db.get(format!("key-{:06}", i * 7).as_bytes()).unwrap();
+        }
+        let text = db.stats_text();
+        assert!(text.contains("** DB Stats **"), "{text}");
+        assert!(text.contains("Uptime(secs):"), "{text}");
+        assert!(text.contains("Cumulative writes:"), "{text}");
+        assert!(text.contains("Cumulative stall:"), "{text}");
+        assert!(text.contains("** Compaction Stats [default] **"), "{text}");
+        assert!(text.contains("rocksdb.db.get.micros"), "{text}");
+        assert!(text.contains("P99.99"), "{text}");
+        assert!(text.contains("STDDEV"), "{text}");
+        // The Sum row aggregates the per-level table; with a flush done,
+        // L0 write bytes make the sum write column non-zero.
+        let sum_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("Sum"))
+            .expect("Sum row present");
+        let tokens: Vec<&str> = sum_line.split_whitespace().collect();
+        assert_eq!(tokens.len(), 10, "Sum row token count: {sum_line}");
+        let w_amp: f64 = tokens[7].parse().unwrap();
+        assert!(w_amp >= 1.0, "flushed data gives W-Amp >= 1: {sum_line}");
+        // L0 row precedes Sum.
+        assert!(text.contains("   L0") || text.contains("L0 "), "{text}");
     }
 
     #[test]

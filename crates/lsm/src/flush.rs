@@ -14,6 +14,15 @@ pub fn sst_file_name(number: FileNumber) -> String {
     format!("{number}.sst")
 }
 
+/// A built L0 table plus merge accounting for the statistics registry.
+#[derive(Debug)]
+pub struct FlushOutput {
+    /// The finished table.
+    pub table: FinishedTable,
+    /// Shadowed versions dropped during the merge.
+    pub entries_dropped: u64,
+}
+
 /// Merges `mems` (newest last) into a single L0 table.
 ///
 /// Shadowed versions of a user key are dropped (the engine does not
@@ -29,7 +38,7 @@ pub fn build_l0_table(
     number: FileNumber,
     mems: &[Arc<MemTable>],
     config: TableConfig,
-) -> Result<FinishedTable> {
+) -> Result<FlushOutput> {
     let file = vfs.create(&sst_file_name(number))?;
     let mut builder = TableBuilder::new(file, config);
 
@@ -38,6 +47,7 @@ pub fn build_l0_table(
     // unique), and internal-key order puts the newest version first.
     let mut iters: Vec<_> = mems.iter().map(|m| m.iter().peekable()).collect();
     let mut last_user_key: Option<Vec<u8>> = None;
+    let mut entries_dropped = 0u64;
     loop {
         let mut best: Option<(usize, &[u8])> = None;
         for (i, it) in iters.iter_mut().enumerate() {
@@ -58,9 +68,14 @@ pub fn build_l0_table(
         if !shadowed {
             builder.add(key, value)?;
             last_user_key = Some(user_key.to_vec());
+        } else {
+            entries_dropped += 1;
         }
     }
-    builder.finish()
+    Ok(FlushOutput {
+        table: builder.finish()?,
+        entries_dropped,
+    })
 }
 
 #[cfg(test)]
@@ -98,8 +113,9 @@ mod tests {
         for i in 0..100 {
             mt.add(i + 1, ValueType::Value, format!("k{i:03}").as_bytes(), b"v");
         }
-        let fin = build_l0_table(&vfs, FileNumber(1), &[Arc::new(mt)], TableConfig::default()).unwrap();
-        assert_eq!(fin.properties.num_entries, 100);
+        let out = build_l0_table(&vfs, FileNumber(1), &[Arc::new(mt)], TableConfig::default()).unwrap();
+        assert_eq!(out.table.properties.num_entries, 100);
+        assert_eq!(out.entries_dropped, 0);
         let entries = read_all_entries(&vfs, FileNumber(1));
         assert_eq!(entries.len(), 100);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
@@ -114,14 +130,15 @@ mod tests {
         let mut new = MemTable::new(0);
         new.add(10, ValueType::Value, b"dup", b"new");
         new.add(11, ValueType::Value, b"only-new", b"y");
-        let fin = build_l0_table(
+        let out = build_l0_table(
             &vfs,
             FileNumber(2),
             &[Arc::new(old), Arc::new(new)],
             TableConfig::default(),
         )
         .unwrap();
-        assert_eq!(fin.properties.num_entries, 3, "shadowed dup dropped");
+        assert_eq!(out.table.properties.num_entries, 3, "shadowed dup dropped");
+        assert_eq!(out.entries_dropped, 1);
         let entries = read_all_entries(&vfs, FileNumber(2));
         let dup = entries.iter().find(|e| e.0 == b"dup").unwrap();
         assert_eq!(dup.3, b"new");
@@ -154,7 +171,8 @@ mod tests {
             &[Arc::new(a), Arc::new(b)],
             TableConfig::default(),
         )
-        .unwrap();
+        .unwrap()
+        .table;
         assert_eq!(fin.smallest.user_key(), b"aaa");
         assert_eq!(fin.largest.user_key(), b"zzz");
     }

@@ -42,6 +42,7 @@ mod db;
 mod compaction;
 mod error;
 mod flush;
+mod listener;
 mod memtable;
 mod runtime;
 mod stats;
@@ -51,7 +52,7 @@ mod version;
 mod write_controller;
 
 pub use batch::WriteBatch;
-pub use cache::{cache_key, BlockCache, BlockKey, CacheStats, TableCache};
+pub use cache::{cache_key, BlockCache, BlockKey, CacheSnapshot, CacheStats, TableCache};
 pub use compaction::{
     level_targets, pending_compaction_bytes, run_compaction, CompactionInputs,
     CompactionJobOutput, CompactionPick, CompactionReason,
@@ -59,9 +60,13 @@ pub use compaction::{
 pub use db::{CostModel, Db, DbBuilder, DbStats, ReadOptions, ScanResult, WriteOptions};
 pub use error::{Error, ErrorKind, Result};
 pub use fault::{FaultConfig, FaultInjectionVfs, TearStyle};
+pub use listener::{CompactionJobInfo, EventListener, FlushJobInfo, StallConditionsChanged};
 pub use memtable::{MemTable, MemTableGet};
-pub use stats::{Histogram, HistogramSnapshot, Ticker, TickerSnapshot, Tickers, TICKER_NAMES};
+pub use stats::{
+    Histogram, HistogramKind, HistogramSnapshot, LevelIo, Statistics, Ticker, TickerSnapshot,
+    Tickers, HISTOGRAM_NAMES, NUM_HISTOGRAMS, TICKER_NAMES,
+};
 pub use types::{FileNumber, InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE};
-pub use version::{FileMetadata, Version, VersionEdit};
+pub use version::{CompactionLevelStats, FileMetadata, Version, VersionEdit};
 pub use vfs::{MemVfs, RandomAccessFile, StdVfs, Vfs, WritableFile};
 pub use write_controller::{WriteController, WritePressure, WriteRegime};

@@ -1,0 +1,72 @@
+//! Event listeners: push-style notification of engine transitions.
+//!
+//! Harnesses (and the tuning loop's Active Flagger) previously had to
+//! poll `Db::stats()` to notice flushes, compactions, or stall-regime
+//! changes. An [`EventListener`] registered at open time is instead
+//! invoked synchronously when those transitions happen, mirroring
+//! RocksDB's `EventListener` (`OnFlushCompleted`,
+//! `OnCompactionCompleted`, `OnStallConditionsChanged`).
+//!
+//! Callbacks may run on foreground or background threads and may hold
+//! internal engine locks: implementations must be fast, must not block,
+//! and must not call back into the database.
+
+use crate::types::FileNumber;
+use crate::write_controller::WriteRegime;
+
+/// Details of a completed flush (one new L0 table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushJobInfo {
+    /// File number of the new table.
+    pub file_number: FileNumber,
+    /// On-disk size of the new table in bytes.
+    pub file_size: u64,
+    /// Entries in the new table.
+    pub num_entries: u64,
+    /// Memtables merged into the table.
+    pub memtables_merged: usize,
+}
+
+/// Details of a completed compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionJobInfo {
+    /// Level the outputs were installed into.
+    pub output_level: usize,
+    /// Number of input files consumed.
+    pub input_files: usize,
+    /// Number of output files produced.
+    pub output_files: usize,
+    /// Bytes read from input files.
+    pub bytes_read: u64,
+    /// Bytes written to output files.
+    pub bytes_written: u64,
+    /// Keys dropped (shadowed versions and bottommost tombstones).
+    pub keys_dropped: u64,
+}
+
+/// A write-stall regime transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConditionsChanged {
+    /// Regime before the transition.
+    pub previous: WriteRegime,
+    /// Regime after the transition.
+    pub current: WriteRegime,
+}
+
+/// Callbacks fired by the engine on background-work and stall
+/// transitions. All methods have empty default bodies, so implementors
+/// override only what they observe.
+pub trait EventListener: Send + Sync {
+    /// A flush finished and its table was installed into L0.
+    fn on_flush_completed(&self, _info: &FlushJobInfo) {}
+
+    /// A compaction finished and its outputs were installed.
+    fn on_compaction_completed(&self, _info: &CompactionJobInfo) {}
+
+    /// The write controller moved between Normal / Delayed / Stopped.
+    ///
+    /// Fires exactly once per observed transition (deduplicated on the
+    /// regime value), including the transition back to
+    /// [`WriteRegime::Normal`] when pressure clears.
+    fn on_stall_conditions_changed(&self, _info: &StallConditionsChanged) {}
+}

@@ -5,6 +5,7 @@
 //! framework extracts from `db_bench` output.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use hw_sim::SimDuration;
 
@@ -39,9 +40,11 @@ pub enum Ticker {
     FilesDeleted,
     GroupCommits,
     GroupCommitBatches,
+    WalWrites,
+    CompactionKeyDropped,
 }
 
-const NUM_TICKERS: usize = 27;
+const NUM_TICKERS: usize = 29;
 
 fn ticker_index(t: Ticker) -> usize {
     t as usize
@@ -76,6 +79,8 @@ pub const TICKER_NAMES: [&str; NUM_TICKERS] = [
     "files_deleted",
     "group_commits",
     "group_commit_batches",
+    "wal_writes",
+    "compaction_key_dropped",
 ];
 
 /// Thread-safe ticker array.
@@ -156,6 +161,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u128,
+    sum_sq: u128,
     min: u64,
     max: u64,
 }
@@ -196,6 +202,7 @@ impl Histogram {
             buckets: vec![0; NUM_BUCKETS],
             count: 0,
             sum: 0,
+            sum_sq: 0,
             min: u64::MAX,
             max: 0,
         }
@@ -207,6 +214,7 @@ impl Histogram {
         self.buckets[bucket_index(v)] += 1;
         self.count += 1;
         self.sum += u128::from(v);
+        self.sum_sq += u128::from(v) * u128::from(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -223,6 +231,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -267,6 +276,17 @@ impl Histogram {
         SimDuration::from_nanos(self.max)
     }
 
+    /// Population standard deviation of the samples, or zero when empty.
+    pub fn stddev(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = self.count as f64;
+        let mean = self.sum as f64 / n;
+        let variance = (self.sum_sq as f64 / n - mean * mean).max(0.0);
+        SimDuration::from_nanos(variance.sqrt() as u64)
+    }
+
     /// Captures the quantiles commonly reported by `db_bench`.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -277,6 +297,8 @@ impl Histogram {
             p75: self.percentile(75.0),
             p99: self.percentile(99.0),
             p999: self.percentile(99.9),
+            p9999: self.percentile(99.99),
+            stddev: self.stddev(),
             max: self.max(),
         }
     }
@@ -299,8 +321,109 @@ pub struct HistogramSnapshot {
     pub p99: SimDuration,
     /// 99.9th percentile.
     pub p999: SimDuration,
+    /// 99.99th percentile.
+    pub p9999: SimDuration,
+    /// Population standard deviation (nanosecond precision).
+    pub stddev: SimDuration,
     /// Maximum latency.
     pub max: SimDuration,
+}
+
+// ---------------------------------------------------------------------------
+// Statistics registry
+// ---------------------------------------------------------------------------
+
+/// Latency-histogram families the engine maintains internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are self-describing families
+pub enum HistogramKind {
+    DbGet,
+    DbWrite,
+    FlushTime,
+    CompactionTime,
+    SstReadMicros,
+}
+
+/// Number of engine histogram families.
+pub const NUM_HISTOGRAMS: usize = 5;
+
+/// Histogram names, index-aligned with [`HistogramKind`] discriminants,
+/// following the `rocksdb.*` statistics naming convention.
+pub const HISTOGRAM_NAMES: [&str; NUM_HISTOGRAMS] = [
+    "db.get.micros",
+    "db.write.micros",
+    "flush.time.micros",
+    "compaction.time.micros",
+    "sst.read.micros",
+];
+
+/// Per-level I/O accumulated by flush and compaction jobs.
+///
+/// Flushes account as writes into level 0; a compaction's bytes are
+/// charged to its *output* level (RocksDB convention for the
+/// `Compaction Stats` table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelIo {
+    /// Bytes read from input files.
+    pub bytes_read: u64,
+    /// Bytes written to output files.
+    pub bytes_written: u64,
+    /// Jobs (flushes for L0, compactions elsewhere) completed.
+    pub jobs: u64,
+    /// Keys dropped (shadowed versions and bottommost tombstones).
+    pub keys_dropped: u64,
+}
+
+/// The engine-wide statistics registry: tickers, latency histograms,
+/// and per-level compaction I/O.
+///
+/// One instance lives in the database for its whole lifetime; all
+/// members are independently thread-safe.
+#[derive(Debug, Default)]
+pub struct Statistics {
+    tickers: Tickers,
+    histograms: [Mutex<Histogram>; NUM_HISTOGRAMS],
+    level_io: Mutex<Vec<LevelIo>>,
+}
+
+impl Statistics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ticker array.
+    pub fn tickers(&self) -> &Tickers {
+        &self.tickers
+    }
+
+    /// Records one latency sample into a histogram family.
+    pub fn record(&self, kind: HistogramKind, value: SimDuration) {
+        self.histograms[kind as usize].lock().expect("histogram lock").record(value);
+    }
+
+    /// Snapshot of one histogram family.
+    pub fn histogram(&self, kind: HistogramKind) -> HistogramSnapshot {
+        self.histograms[kind as usize].lock().expect("histogram lock").snapshot()
+    }
+
+    /// Adds job I/O to a level's accumulator.
+    pub fn add_level_io(&self, level: usize, read: u64, written: u64, keys_dropped: u64) {
+        let mut io = self.level_io.lock().expect("level io lock");
+        if io.len() <= level {
+            io.resize(level + 1, LevelIo::default());
+        }
+        let slot = &mut io[level];
+        slot.bytes_read += read;
+        slot.bytes_written += written;
+        slot.jobs += 1;
+        slot.keys_dropped += keys_dropped;
+    }
+
+    /// Snapshot of the per-level I/O accumulators (index = level).
+    pub fn level_io(&self) -> Vec<LevelIo> {
+        self.level_io.lock().expect("level io lock").clone()
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +512,55 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, SimDuration::ZERO);
         assert_eq!(s.mean, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stddev_and_p9999() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(SimDuration::from_nanos(1000));
+        }
+        // Constant samples: zero spread, every percentile near the value.
+        assert_eq!(h.stddev(), SimDuration::ZERO);
+        let s = h.snapshot();
+        assert!(s.p999 <= s.p9999 && s.p9999 <= s.max);
+
+        let mut spread = Histogram::new();
+        spread.record(SimDuration::from_nanos(0));
+        spread.record(SimDuration::from_nanos(2000));
+        // Population stddev of {0, 2000} is exactly 1000.
+        assert_eq!(spread.stddev(), SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn statistics_registry_accumulates() {
+        let stats = Statistics::new();
+        stats.tickers().inc(Ticker::WalWrites);
+        stats.record(HistogramKind::DbGet, SimDuration::from_micros(3));
+        stats.record(HistogramKind::DbGet, SimDuration::from_micros(5));
+        assert_eq!(stats.histogram(HistogramKind::DbGet).count, 2);
+        assert_eq!(stats.histogram(HistogramKind::DbWrite).count, 0);
+
+        stats.add_level_io(0, 0, 4096, 0);
+        stats.add_level_io(2, 8192, 6000, 17);
+        stats.add_level_io(2, 100, 50, 3);
+        let io = stats.level_io();
+        assert_eq!(io.len(), 3);
+        assert_eq!(io[0], LevelIo { bytes_read: 0, bytes_written: 4096, jobs: 1, keys_dropped: 0 });
+        assert_eq!(io[1], LevelIo::default());
+        assert_eq!(
+            io[2],
+            LevelIo { bytes_read: 8292, bytes_written: 6050, jobs: 2, keys_dropped: 20 }
+        );
+    }
+
+    #[test]
+    fn histogram_names_align() {
+        assert_eq!(HISTOGRAM_NAMES[HistogramKind::DbGet as usize], "db.get.micros");
+        assert_eq!(
+            HISTOGRAM_NAMES[HistogramKind::SstReadMicros as usize],
+            "sst.read.micros"
+        );
     }
 
     #[test]

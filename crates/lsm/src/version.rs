@@ -146,6 +146,57 @@ impl Version {
         Ok(Version { levels })
     }
 
+    /// Aggregates one row of the `Compaction Stats` table per level.
+    ///
+    /// `io` is the per-level job accounting from
+    /// [`Statistics::level_io`](crate::stats::Statistics::level_io),
+    /// `targets` the byte targets from
+    /// [`level_targets`](crate::level_targets), and `l0_trigger` the L0
+    /// file-count compaction trigger (scores L0 the way RocksDB does:
+    /// files over trigger rather than bytes over target).
+    pub fn compaction_stats(
+        &self,
+        io: &[crate::stats::LevelIo],
+        targets: &[u64],
+        l0_trigger: usize,
+    ) -> Vec<CompactionLevelStats> {
+        (0..self.num_levels())
+            .map(|level| {
+                let files = self.levels[level].len();
+                let bytes = self.level_bytes(level);
+                let score = if level == 0 {
+                    files as f64 / l0_trigger.max(1) as f64
+                } else {
+                    match targets.get(level) {
+                        Some(&t) if t > 0 && t != u64::MAX => bytes as f64 / t as f64,
+                        _ => 0.0,
+                    }
+                };
+                let lio = io.get(level).copied().unwrap_or_default();
+                // Per-level write amplification: output bytes per input
+                // byte. Flushes (L0) read nothing, so their amp is 1.
+                let write_amp = if lio.bytes_read > 0 {
+                    lio.bytes_written as f64 / lio.bytes_read as f64
+                } else if lio.bytes_written > 0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                CompactionLevelStats {
+                    level,
+                    files,
+                    bytes,
+                    score,
+                    bytes_read: lio.bytes_read,
+                    bytes_written: lio.bytes_written,
+                    jobs: lio.jobs,
+                    keys_dropped: lio.keys_dropped,
+                    write_amp,
+                }
+            })
+            .collect()
+    }
+
     /// All live file numbers (for garbage collection).
     pub fn live_files(&self) -> Vec<FileNumber> {
         let mut out: Vec<FileNumber> = self
@@ -156,6 +207,29 @@ impl Version {
         out.sort();
         out
     }
+}
+
+/// One level's row of the `Compaction Stats [default]` table.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompactionLevelStats {
+    /// Level index.
+    pub level: usize,
+    /// Files currently at this level.
+    pub files: usize,
+    /// Bytes currently at this level.
+    pub bytes: u64,
+    /// Compaction pressure score (≥ 1.0 means compaction is due).
+    pub score: f64,
+    /// Cumulative bytes read by jobs writing into this level.
+    pub bytes_read: u64,
+    /// Cumulative bytes written into this level.
+    pub bytes_written: u64,
+    /// Jobs completed with this level as their output.
+    pub jobs: u64,
+    /// Keys dropped by those jobs.
+    pub keys_dropped: u64,
+    /// Output bytes per input byte for those jobs.
+    pub write_amp: f64,
 }
 
 /// A logged state transition: files added/removed plus counter updates.

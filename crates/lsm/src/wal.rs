@@ -16,6 +16,8 @@ pub struct WalWriter {
     file: Box<dyn WritableFile>,
     bytes_written: u64,
     bytes_since_sync: u64,
+    appends: u64,
+    syncs: u64,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -33,6 +35,8 @@ impl WalWriter {
             file,
             bytes_written: 0,
             bytes_since_sync: 0,
+            appends: 0,
+            syncs: 0,
         }
     }
 
@@ -50,6 +54,7 @@ impl WalWriter {
         let len = frame.len() as u64;
         self.bytes_written += len;
         self.bytes_since_sync += len;
+        self.appends += 1;
         Ok(len)
     }
 
@@ -74,6 +79,7 @@ impl WalWriter {
         let len = frames.len() as u64;
         self.bytes_written += len;
         self.bytes_since_sync += len;
+        self.appends += 1;
         Ok(len)
     }
 
@@ -85,6 +91,7 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync()?;
         self.bytes_since_sync = 0;
+        self.syncs += 1;
         Ok(())
     }
 
@@ -96,6 +103,17 @@ impl WalWriter {
     /// Bytes appended since the last [`sync`](Self::sync).
     pub fn bytes_since_sync(&self) -> u64 {
         self.bytes_since_sync
+    }
+
+    /// Append operations performed on this log file (a group-committed
+    /// multi-record append counts once).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Successful syncs of this log file.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 }
 
@@ -208,9 +226,12 @@ mod tests {
         w.add_record(b"12345").unwrap();
         assert_eq!(w.bytes_written(), 13);
         assert_eq!(w.bytes_since_sync(), 13);
+        assert_eq!((w.appends(), w.syncs()), (1, 0));
         w.sync().unwrap();
         assert_eq!(w.bytes_since_sync(), 0);
         assert_eq!(w.bytes_written(), 13);
+        w.add_records(&[b"a", b"b"]).unwrap();
+        assert_eq!((w.appends(), w.syncs()), (2, 1));
     }
 
     #[test]

@@ -46,13 +46,24 @@ pub struct WriteController {
     delayed_write_rate: u64,
 }
 
+/// Maps a trigger option to its threshold, honoring the RocksDB
+/// convention that a value ≤ 0 disables the trigger (the threshold
+/// becomes unreachable rather than clamping to 1).
+fn trigger_threshold(value: i64) -> usize {
+    if value <= 0 {
+        usize::MAX
+    } else {
+        value as usize
+    }
+}
+
 impl WriteController {
     /// Builds a controller from the option set.
     pub fn from_options(opts: &Options) -> Self {
         WriteController {
-            l0_slowdown: opts.level0_slowdown_writes_trigger.max(1) as usize,
-            l0_stop: opts.level0_stop_writes_trigger.max(1) as usize,
-            max_memtables: opts.max_write_buffer_number.max(1) as usize,
+            l0_slowdown: trigger_threshold(opts.level0_slowdown_writes_trigger),
+            l0_stop: trigger_threshold(opts.level0_stop_writes_trigger),
+            max_memtables: trigger_threshold(opts.max_write_buffer_number),
             soft_pending: opts.soft_pending_compaction_bytes_limit,
             hard_pending: opts.hard_pending_compaction_bytes_limit,
             delayed_write_rate: opts.delayed_write_rate.max(1024),
@@ -161,6 +172,39 @@ mod tests {
         opts.delayed_write_rate = 16 << 20;
         let c = WriteController::from_options(&opts);
         assert!(c.delay_for(1 << 20) < d);
+    }
+
+    #[test]
+    fn nonpositive_triggers_are_disabled() {
+        // RocksDB convention: a trigger ≤ 0 is disabled, not "trigger at
+        // 1". Before the fix these clamped to 1 and every write stalled.
+        let opts = Options {
+            level0_slowdown_writes_trigger: 0,
+            level0_stop_writes_trigger: -1,
+            max_write_buffer_number: 0,
+            ..Options::default()
+        };
+        let c = WriteController::from_options(&opts);
+        let p = WritePressure {
+            l0_files: 10_000,
+            immutable_memtables: 50,
+            total_memtables: 51,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Normal);
+
+        // Positive triggers still behave as before.
+        let opts = Options {
+            level0_slowdown_writes_trigger: 1,
+            ..Options::default()
+        };
+        let c = WriteController::from_options(&opts);
+        let p = WritePressure {
+            l0_files: 1,
+            total_memtables: 1,
+            ..WritePressure::default()
+        };
+        assert_eq!(c.regime(&p), WriteRegime::Delayed);
     }
 
     #[test]

@@ -255,3 +255,67 @@ proptest! {
         }
     }
 }
+
+/// Regression test for the snapshot consistency bug: `stats()` and
+/// `used_bytes()` used to take the shard locks separately, so a reader
+/// could observe an insert's byte charge without its counter (or vice
+/// versa). [`BlockCache::snapshot`] reads both under one lock pass;
+/// with fixed-size blocks the invariant
+/// `used_bytes == (inserts - evictions) * charge` must hold on every
+/// observation, even mid-storm.
+#[test]
+fn cache_snapshot_invariant_holds_under_concurrent_inserts() {
+    use lsm_kvs::{cache_key, BlockCache, FileNumber};
+
+    // 936-byte blocks are charged 936 + 64 bookkeeping = 1000 bytes.
+    const CHARGE: u64 = 1000;
+    let cache = Arc::new(BlockCache::new(50 * CHARGE, 2));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = cache_key(FileNumber(t + 1), i * 4096);
+                        cache.insert(key, Arc::new(vec![0u8; 936]));
+                        let _ = cache.get(&key);
+                    }
+                })
+            })
+            .collect();
+        let checker = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut observations = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = cache.snapshot();
+                    assert_eq!(
+                        snap.used_bytes,
+                        (snap.stats.inserts - snap.stats.evictions) * CHARGE,
+                        "snapshot caught counters and bytes out of sync \
+                         after {observations} observations"
+                    );
+                    assert!(snap.used_bytes <= snap.capacity);
+                    observations += 1;
+                }
+                observations
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let observations = checker.join().unwrap();
+        assert!(observations > 0, "checker never observed a snapshot");
+    });
+
+    let final_snap = cache.snapshot();
+    assert_eq!(
+        final_snap.used_bytes,
+        (final_snap.stats.inserts - final_snap.stats.evictions) * CHARGE
+    );
+    assert!(final_snap.stats.evictions > 0, "capacity forced evictions");
+}

@@ -39,6 +39,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut sync: Option<bool> = None;
     let mut db_dir: Option<String> = None;
     let mut crash_loop: Option<u64> = None;
+    let mut stats_dump = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -73,10 +74,12 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--sync" => sync = Some(take(&mut i)?.parse()?),
             "--db" => db_dir = Some(take(&mut i)?),
             "--crash-loop" => crash_loop = Some(take(&mut i)?.parse()?),
+            "--stats_dump" | "--stats-dump" => stats_dump = true,
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
                      [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
+                     [--stats_dump] \
                      [--real-time [--threads N] [--sync true|false] [--db dir]] \
                      [--crash-loop N [--db dir]]"
                 );
@@ -149,11 +152,16 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 "running {name} for real: {n_threads} thread(s), sync={sync}, dir={dir} ..."
             );
             let report = run_benchmark_real(&db, &spec, n_threads, sync)?;
+            // Captured before close: the dump reads engine state.
+            let dump = stats_dump.then(|| db.stats_text());
             drop(db);
             if ephemeral {
                 let _ = std::fs::remove_dir_all(&dir);
             }
             println!("{}", report.to_db_bench_text());
+            if let Some(d) = dump {
+                println!("{d}");
+            }
         } else {
             let env = HardwareEnv::builder()
                 .cores(cores)
@@ -164,6 +172,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("running {name} on {} ...", env.description());
             let report = run_benchmark(&db, &env, &spec, None)?;
             println!("{}", report.to_db_bench_text());
+            if stats_dump {
+                println!("{}", db.stats_text());
+            }
         }
     }
     Ok(())

@@ -149,11 +149,13 @@ impl BenchReport {
 
 fn render_histogram(op: &str, h: &HistogramSnapshot) -> String {
     format!(
-        "Microseconds per {op}:\nCount: {} Average: {:.4}\nMin: {:.2} Median: {:.2} Max: {:.2}\n\
-         Percentiles: P50: {:.2} P75: {:.2} P99: {:.2} P99.9: {:.2}\n\
+        "Microseconds per {op}:\nCount: {} Average: {:.4} StdDev: {:.2}\n\
+         Min: {:.2} Median: {:.2} Max: {:.2}\n\
+         Percentiles: P50: {:.2} P75: {:.2} P99: {:.2} P99.9: {:.2} P99.99: {:.2}\n\
          ------------------------------------------------------\n",
         h.count,
         h.mean.as_micros_f64(),
+        h.stddev.as_micros_f64(),
         h.min.as_micros_f64(),
         h.p50.as_micros_f64(),
         h.max.as_micros_f64(),
@@ -161,6 +163,7 @@ fn render_histogram(op: &str, h: &HistogramSnapshot) -> String {
         h.p75.as_micros_f64(),
         h.p99.as_micros_f64(),
         h.p999.as_micros_f64(),
+        h.p9999.as_micros_f64(),
     )
 }
 
@@ -177,6 +180,8 @@ mod tests {
             p75: SimDuration::from_micros(3),
             p99: SimDuration::from_micros(p99_us),
             p999: SimDuration::from_micros(p99_us * 2),
+            p9999: SimDuration::from_micros(p99_us * 4),
+            stddev: SimDuration::from_micros(1),
             max: SimDuration::from_micros(p99_us * 10),
         }
     }
@@ -209,6 +214,8 @@ mod tests {
         assert!(text.contains("500 ops/sec"));
         assert!(text.contains("Microseconds per write:"));
         assert!(text.contains("P99: 6.00"));
+        assert!(text.contains("P99.99: 24.00"));
+        assert!(text.contains("StdDev: 1.00"));
         assert!(text.contains("STATISTICS:"));
         assert!(text.contains("Level summary:"));
     }

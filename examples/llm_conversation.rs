@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         options_ini: &options_ini,
         iteration: 2,
         last_result: Some(&last),
+        stats_dump: None,
         best_throughput: Some(61_234.0),
         deteriorated: false,
         violation_feedback: &[],
