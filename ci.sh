@@ -17,6 +17,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> concurrency stress tests (120s timeout)"
 timeout 120 cargo test -q -p lsm-kvs --test concurrency
 
+echo "==> sharding gate: multi-threaded shard stress + sharded crash cycles"
+timeout 120 cargo test -q -p lsm-kvs --test concurrency sharded_disjoint_writers_with_cross_shard_scans
+timeout 120 cargo test -q -p lsm-kvs --test crash_recovery sharded_randomized_crash_cycles_sim
+
+echo "==> sharding gate: --shards 1 must be byte-identical to no flag"
+./target/release/db_bench --benchmarks fillrandom --num 20000 > /tmp/ci-noshard.txt
+./target/release/db_bench --benchmarks fillrandom --num 20000 --shards 1 > /tmp/ci-shard1.txt
+diff /tmp/ci-noshard.txt /tmp/ci-shard1.txt
+rm -f /tmp/ci-noshard.txt /tmp/ci-shard1.txt
+
 echo "==> crash-recovery gate: 25 wall-clock power-cut cycles (120s timeout)"
 CRASH_DIR="$(mktemp -d)"
 trap 'rm -rf "$CRASH_DIR"' EXIT

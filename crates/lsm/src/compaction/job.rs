@@ -10,12 +10,13 @@ use std::sync::Arc;
 
 use hw_sim::SimDuration;
 
+use crate::compaction::picker::{CompactionInputs, CompactionReason};
 use crate::error::Result;
 use crate::flush::sst_file_name;
 use crate::sstable::block::Block;
 use crate::sstable::table::{BlockHandle, FinishedTable, TableBuilder, TableConfig, TableReader};
 use crate::types::{internal_key_cmp, FileNumber, ValueType};
-use crate::version::FileMetadata;
+use crate::version::{FileMetadata, Version};
 use crate::vfs::Vfs;
 
 /// The result of a compaction merge.
@@ -85,6 +86,36 @@ impl TableCursor {
         }
         Ok(())
     }
+}
+
+/// Whether a merge may drop tombstones: nothing deeper than the output
+/// level can hold older versions of the merged keys.
+///
+/// Any compaction qualifies under the global rule — the output is the
+/// deepest level, or every deeper level is empty. A manual bottommost
+/// rewrite ([`CompactionReason::BottommostFiles`]) additionally
+/// qualifies when no deeper file overlaps the inputs' combined user-key
+/// span; without the range-aware check, unrelated data elsewhere in a
+/// deeper level keeps a range's bottommost tombstones alive forever.
+pub fn can_drop_tombstones(version: &Version, c: &CompactionInputs) -> bool {
+    let n = version.num_levels();
+    let output = c.output_level;
+    if output + 1 >= n || (output + 1..n).all(|l| version.files(l).is_empty()) {
+        return true;
+    }
+    if c.reason != CompactionReason::BottommostFiles {
+        return false;
+    }
+    let mut span: Option<(&[u8], &[u8])> = None;
+    for (_, f) in &c.inputs {
+        let (s, l) = (f.smallest.user_key(), f.largest.user_key());
+        span = Some(match span {
+            None => (s, l),
+            Some((lo, hi)) => (lo.min(s), hi.max(l)),
+        });
+    }
+    let Some((lo, hi)) = span else { return false };
+    (output + 1..n).all(|l| version.overlapping_files(l, lo, hi).is_empty())
 }
 
 /// Runs the merge: reads `inputs`, writes up to `target_file_size`-sized
@@ -337,6 +368,66 @@ mod tests {
         .unwrap();
         assert!(out.files.is_empty());
         assert_eq!(out.entries_written, 0);
+    }
+
+    #[test]
+    fn can_drop_tombstones_is_range_aware_for_bottommost_rewrites() {
+        use crate::version::VersionEdit;
+
+        fn file(number: u64, lo: &str, hi: &str) -> Arc<FileMetadata> {
+            Arc::new(FileMetadata::new(
+                FileNumber(number),
+                1_000,
+                InternalKey::new(lo.as_bytes(), 1, ValueType::Value),
+                InternalKey::new(hi.as_bytes(), 1, ValueType::Value),
+                10,
+            ))
+        }
+        fn version(files: &[(usize, Arc<FileMetadata>)]) -> Version {
+            let mut edit = VersionEdit::default();
+            for (l, f) in files {
+                edit.added_files.push((*l, Arc::clone(f)));
+            }
+            Version::empty(7).apply(&edit).unwrap()
+        }
+
+        let a = file(1, "a", "c");
+        let z = file(2, "x", "z");
+        // Unrelated z-range data at L2 defeats the global rule for an
+        // L1 merge of the a-range...
+        let v = version(&[(1, Arc::clone(&a)), (2, Arc::clone(&z))]);
+        let auto = CompactionInputs {
+            inputs: vec![(1, Arc::clone(&a))],
+            output_level: 1,
+            reason: CompactionReason::LevelSize,
+        };
+        assert!(!can_drop_tombstones(&v, &auto), "auto merges keep the global rule");
+
+        // ...but a manual bottommost rewrite checks the inputs' span.
+        let rewrite = CompactionInputs {
+            inputs: vec![(1, Arc::clone(&a))],
+            output_level: 1,
+            reason: CompactionReason::BottommostFiles,
+        };
+        assert!(can_drop_tombstones(&v, &rewrite), "no deeper overlap in [a,c]");
+
+        // A deeper file overlapping the span blocks the drop.
+        let v2 = version(&[(1, Arc::clone(&a)), (2, file(3, "b", "d"))]);
+        let rewrite2 = CompactionInputs {
+            inputs: vec![(1, Arc::clone(&a))],
+            output_level: 1,
+            reason: CompactionReason::BottommostFiles,
+        };
+        assert!(!can_drop_tombstones(&v2, &rewrite2));
+
+        // Global rule still applies to every reason.
+        let v3 = version(&[(1, Arc::clone(&a))]);
+        let auto3 = CompactionInputs {
+            inputs: vec![(1, a)],
+            output_level: 1,
+            reason: CompactionReason::LevelSize,
+        };
+        assert!(can_drop_tombstones(&v3, &auto3), "deeper levels empty");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 pub mod job;
 pub mod picker;
 
-pub use job::{run_compaction, CompactionJobOutput};
+pub use job::{can_drop_tombstones, run_compaction, CompactionJobOutput};
 pub use picker::{
     level_targets, pending_compaction_bytes, pick_compaction, CompactionInputs, CompactionPick,
     CompactionReason,

@@ -18,6 +18,9 @@ pub enum CompactionReason {
     UniversalSpaceAmp,
     /// FIFO: total size over budget, oldest files dropped.
     FifoDrop,
+    /// Manual `compact_range`: rewrite bottommost files in the range so
+    /// tombstones already at the bottom are dropped.
+    BottommostFiles,
 }
 
 /// A chosen compaction.
@@ -239,9 +242,11 @@ fn pick_universal(opts: &Options, version: &Version) -> Option<CompactionPick> {
 
     // 1) Space amplification: if everything above the oldest run is
     //    already as big as the oldest run allows, merge all runs.
-    let last_size = runs.last().map(|r| r.2).unwrap_or(0).max(1);
-    let upper: u64 = runs[..runs.len() - 1].iter().map(|r| r.2).sum();
-    if upper * 100 >= last_size * opts.universal_max_size_amplification_percent.max(1) as u64 {
+    // Widened to u128: simulated databases reach sizes where
+    // `upper * 100` wraps in u64 and the trigger silently goes dead.
+    let last_size = runs.last().map(|r| r.2).unwrap_or(0).max(1) as u128;
+    let upper: u128 = runs[..runs.len() - 1].iter().map(|r| r.2 as u128).sum();
+    if upper * 100 >= last_size * opts.universal_max_size_amplification_percent as u128 {
         let inputs = runs
             .iter()
             .flat_map(|(l, files, _)| files.iter().map(|f| (*l, Arc::clone(f))))
@@ -255,8 +260,10 @@ fn pick_universal(opts: &Options, version: &Version) -> Option<CompactionPick> {
 
     // 2) Size ratio: greedily extend from the newest run while the next
     //    run is not much bigger than what we accumulated.
-    let ratio = 1.0 + opts.universal_size_ratio.max(0) as f64 / 100.0;
-    let max_width = opts.universal_max_merge_width.max(2) as usize;
+    // Options::validate() guarantees size_ratio in [0,100] and merge
+    // widths >= 2; the picker trusts them rather than re-clamping.
+    let ratio = 1.0 + opts.universal_size_ratio as f64 / 100.0;
+    let max_width = opts.universal_max_merge_width as usize;
     let mut acc = runs[0].2;
     let mut width = 1;
     while width < runs.len().min(max_width) {
@@ -268,7 +275,7 @@ fn pick_universal(opts: &Options, version: &Version) -> Option<CompactionPick> {
             break;
         }
     }
-    let min_width = opts.universal_min_merge_width.max(2) as usize;
+    let min_width = opts.universal_min_merge_width as usize;
     if width < min_width {
         // 3) Fall back to merging the newest `min_width` runs to cap the
         //    run count.
@@ -469,6 +476,56 @@ mod tests {
         assert_eq!(c.reason, CompactionReason::UniversalSpaceAmp);
         assert_eq!(c.output_level, 6);
         assert_eq!(c.inputs.len(), 3);
+    }
+
+    #[test]
+    fn universal_space_amp_survives_u64_overflow() {
+        // Regression: with run sizes near 2^62, `upper * 100` wrapped in
+        // u64 (100 * 2^62 mod 2^64 = 0) and the size-amp trigger went
+        // dead, so the pick degraded to a partial size-ratio merge.
+        let opts = Options {
+            compaction_style: CompactionStyle::Universal,
+            level0_file_num_compaction_trigger: 2,
+            universal_max_size_amplification_percent: 200,
+            ..Options::default()
+        };
+        let v = version_with(&[
+            (0, meta(2, "a", "z", 1u64 << 62)),
+            (6, meta(1, "a", "z", 1u64 << 50)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::UniversalSpaceAmp);
+        assert_eq!(c.output_level, 6);
+        assert_eq!(c.inputs.len(), 2);
+    }
+
+    #[test]
+    fn universal_trusts_validated_boundary_widths() {
+        // min/max merge width at the validated lower bound (2) and
+        // size_ratio at 0 must behave exactly as before the clamp removal.
+        let opts = Options {
+            compaction_style: CompactionStyle::Universal,
+            level0_file_num_compaction_trigger: 2,
+            universal_max_size_amplification_percent: 10_000,
+            universal_size_ratio: 0,
+            universal_min_merge_width: 2,
+            universal_max_merge_width: 2,
+            ..Options::default()
+        };
+        opts.validate().unwrap();
+        let v = version_with(&[
+            (0, meta(4, "a", "z", 1_000)),
+            (0, meta(3, "a", "z", 1_000)),
+            (0, meta(2, "a", "z", 1_000)),
+            (6, meta(1, "a", "z", 100_000)),
+        ]);
+        let Some(CompactionPick::Merge(c)) = pick_compaction(&opts, &v) else {
+            panic!("expected merge");
+        };
+        assert_eq!(c.reason, CompactionReason::UniversalSizeRatio);
+        assert_eq!(c.inputs.len(), 2, "max_merge_width=2 caps the merge");
     }
 
     #[test]

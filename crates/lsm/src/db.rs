@@ -341,6 +341,9 @@ struct DbInner {
     env: HardwareEnv,
     vfs: Arc<dyn Vfs>,
     state: Mutex<DbState>,
+    /// `Some` when this tree is one shard of a [`ShardedDb`](crate::ShardedDb):
+    /// shared block cache, global job budget, cross-shard stall debt.
+    shard: Option<crate::shard::ShardCtx>,
     block_cache: Option<Arc<BlockCache>>,
     table_cache: TableCache<TableReader>,
     stats: Statistics,
@@ -443,6 +446,7 @@ pub struct DbBuilder {
     vfs: Option<Arc<dyn Vfs>>,
     fault: Option<crate::fault::FaultInjectionVfs>,
     listeners: Vec<Arc<dyn EventListener>>,
+    shard: Option<crate::shard::ShardCtx>,
 }
 
 impl std::fmt::Debug for DbBuilder {
@@ -504,6 +508,13 @@ impl DbBuilder {
         self
     }
 
+    /// Marks this database as one shard of a [`ShardedDb`](crate::ShardedDb),
+    /// wiring it to the shared block cache, job budget, and stall debt.
+    pub(crate) fn shard_context(mut self, ctx: crate::shard::ShardCtx) -> Self {
+        self.shard = Some(ctx);
+        self
+    }
+
     /// Opens (creating or recovering) the database.
     ///
     /// # Errors
@@ -517,7 +528,7 @@ impl DbBuilder {
         let vfs = self
             .vfs
             .unwrap_or_else(|| Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
-        Db::open_impl(self.opts, &env, vfs, self.listeners)
+        Db::open_impl(self.opts, &env, vfs, self.listeners, self.shard)
     }
 }
 
@@ -530,18 +541,8 @@ impl Db {
             vfs: None,
             fault: None,
             listeners: Vec::new(),
+            shard: None,
         }
-    }
-
-    /// Opens (creating or recovering) a database on `vfs` under `env`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for inconsistent options and
-    /// I/O/corruption errors from recovery.
-    #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).vfs(vfs).open()`")]
-    pub fn open(opts: Options, env: &HardwareEnv, vfs: Arc<dyn Vfs>) -> Result<Db> {
-        Self::open_impl(opts, env, vfs, Vec::new())
     }
 
     /// Opens (creating or recovering) a database on `vfs` under `env`.
@@ -555,10 +556,14 @@ impl Db {
         env: &HardwareEnv,
         vfs: Arc<dyn Vfs>,
         listeners: Vec<Arc<dyn EventListener>>,
+        shard: Option<crate::shard::ShardCtx>,
     ) -> Result<Db> {
         opts.validate()?;
         let controller = WriteController::from_options(&opts);
-        let block_cache = if opts.no_block_cache {
+        let block_cache = if let Some(ctx) = &shard {
+            // Shards share one cache sized once by the facade.
+            ctx.shared_block_cache()
+        } else if opts.no_block_cache {
             None
         } else {
             Some(Arc::new(BlockCache::new(opts.block_cache_size.max(1), 4)))
@@ -584,6 +589,7 @@ impl Db {
                 env: env.clone(),
                 vfs,
                 state: Mutex::new(state),
+                shard,
                 block_cache,
                 table_cache,
                 stats: Statistics::new(),
@@ -615,14 +621,20 @@ impl Db {
         Ok(db)
     }
 
-    /// Opens a fresh database on an in-memory VFS with simulated timing.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for inconsistent options.
-    #[deprecated(since = "0.2.0", note = "use `Db::builder(opts).env(&env).open()`")]
-    pub fn open_sim(opts: Options, env: &HardwareEnv) -> Result<Db> {
-        Self::open_impl(opts, env, Arc::new(MemVfs::new()), Vec::new())
+    /// The newest sequence number visible to readers right now. Pass it
+    /// as [`ReadOptions::snapshot_seq`] to pin a consistent snapshot;
+    /// cross-shard scans capture one per shard before reading any.
+    pub fn snapshot_seq(&self) -> u64 {
+        let inner = &*self.inner;
+        match &inner.runtime {
+            Some(rt) => rt.visible_seq(),
+            None => inner.state.lock().last_seq,
+        }
+    }
+
+    /// The worker-pool signal handle, for cross-shard fairness kicks.
+    pub(crate) fn bg_shared(&self) -> Option<Arc<crate::runtime::BgShared>> {
+        self.inner.runtime.as_ref().map(|rt| Arc::clone(&rt.bg))
     }
 
     /// The options this database runs with.
@@ -1430,6 +1442,11 @@ impl Db {
     pub fn compact_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
         self.flush()?;
         let inner = &*self.inner;
+        // After the push-down loop drains, one final in-place rewrite of
+        // the range's bottommost files drops tombstones that already sat
+        // at the bottom (RocksDB's bottommost-files pass). A single pass
+        // guarantees termination.
+        let mut rewrite_done = false;
         if let Some(rt) = &inner.runtime {
             // Manual compaction runs on the calling thread, like
             // RocksDB's CompactRange; automatic jobs keep their workers.
@@ -1443,8 +1460,16 @@ impl Db {
                     continue;
                 }
                 let version = Arc::clone(&state.version);
-                let Some(c) = pick_range_compaction(&version, start, end) else {
-                    return Ok(());
+                let c = match pick_range_compaction(&version, start, end) {
+                    Some(c) => c,
+                    None if !rewrite_done => {
+                        rewrite_done = true;
+                        match pick_bottommost_rewrite(&version, start, end) {
+                            Some(c) => c,
+                            None => return Ok(()),
+                        }
+                    }
+                    None => return Ok(()),
                 };
                 let job = inner.real_claim_merge(&mut state, c);
                 drop(state);
@@ -1463,10 +1488,18 @@ impl Db {
                 continue;
             }
             let version = Arc::clone(&state.version);
-            match pick_range_compaction(&version, start, end) {
-                Some(c) => inner.schedule_merge(&mut state, now, c)?,
+            let c = match pick_range_compaction(&version, start, end) {
+                Some(c) => c,
+                None if !rewrite_done => {
+                    rewrite_done = true;
+                    match pick_bottommost_rewrite(&version, start, end) {
+                        Some(c) => c,
+                        None => return Ok(()),
+                    }
+                }
                 None => return Ok(()),
-            }
+            };
+            inner.schedule_merge(&mut state, now, c)?;
         }
         Ok(())
     }
@@ -1758,6 +1791,33 @@ fn pick_range_compaction(
     None
 }
 
+/// Picks the deepest level holding files in `[start, end]` for an
+/// in-place rewrite, so `compact_range` drops tombstones that already
+/// sit at the bottom of the range (which the push-down loop never
+/// touches again). Returns `None` when the range is empty or its files
+/// are claimed by another compaction.
+fn pick_bottommost_rewrite(
+    version: &Version,
+    start: &[u8],
+    end: &[u8],
+) -> Option<crate::compaction::CompactionInputs> {
+    for level in (0..version.num_levels()).rev() {
+        let files = version.overlapping_files(level, start, end);
+        if files.is_empty() {
+            continue;
+        }
+        if files.iter().any(|f| f.is_being_compacted()) {
+            return None;
+        }
+        return Some(crate::compaction::CompactionInputs {
+            inputs: files.into_iter().map(|f| (level, f)).collect(),
+            output_level: level,
+            reason: crate::compaction::CompactionReason::BottommostFiles,
+        });
+    }
+    None
+}
+
 /// Main loop of a background pool worker.
 ///
 /// Holds only a `Weak` database handle plus the shared signal state, so
@@ -1867,11 +1927,23 @@ impl DbInner {
     }
 
     fn pressure(&self, state: &DbState) -> WritePressure {
+        let mut pending = state.pending_compaction_bytes;
+        if let Some(ctx) = &self.shard {
+            // Publish this shard's compaction debt and charge everyone
+            // else's back, so one hot shard slows all writers instead of
+            // racing ahead of the shared background budget.
+            let mut local = pending;
+            let limit = self.opts.shard_bytes_soft_limit;
+            if limit > 0 {
+                local = local.saturating_add(state.version.total_bytes().saturating_sub(limit));
+            }
+            pending = pending.saturating_add(ctx.publish_debt_and_sum_peers(local));
+        }
         WritePressure {
             l0_files: state.version.files(0).len(),
             immutable_memtables: state.imm.len(),
             total_memtables: state.imm.len() + 1,
-            pending_compaction_bytes: state.pending_compaction_bytes,
+            pending_compaction_bytes: pending,
         }
     }
 
@@ -2163,16 +2235,34 @@ impl DbInner {
             if rt.fatal_error().is_some() {
                 break;
             }
+            // Sharded databases share one global job budget: take a permit
+            // before claiming so N shards respect one `max_background_jobs`
+            // limit, and hand it back (kicking a peer) once the job lands.
+            if let Some(ctx) = &self.shard {
+                if !ctx.try_acquire_job() {
+                    break;
+                }
+            }
             let job = {
                 let mut state = self.state.lock();
                 self.real_claim_job(&mut state)
             };
-            let Some(job) = job else { break };
+            let Some(job) = job else {
+                // Quiet release: nothing ran, so waking peers for this
+                // permit would only restart their own empty claims.
+                if let Some(ctx) = &self.shard {
+                    ctx.release_job(false);
+                }
+                break;
+            };
             let result = match job {
                 BgJob::Flush { file_number, mems } => self.real_run_flush(file_number, mems),
                 BgJob::Merge(merge) => self.real_run_merge(rt, merge),
                 BgJob::Drop { files } => self.real_run_drop(files),
             };
+            if let Some(ctx) = &self.shard {
+                ctx.release_job(true);
+            }
             match result {
                 Ok(()) => consecutive_failures = 0,
                 // A retryable build-phase failure already unclaimed its
@@ -2271,9 +2361,7 @@ impl DbInner {
         }
         state.running_compactions += 1;
         let output_level = c.output_level;
-        let bottommost = output_level + 1 >= state.version.num_levels()
-            || (output_level + 1..state.version.num_levels())
-                .all(|l| state.version.files(l).is_empty());
+        let bottommost = crate::compaction::can_drop_tombstones(&state.version, &c);
         let target_file_size = self.opts.target_file_size_base.max(64 << 10)
             * (self.opts.target_file_size_multiplier.max(1) as u64)
                 .pow(output_level.saturating_sub(1) as u32);
@@ -2648,9 +2736,7 @@ impl DbInner {
             f.set_being_compacted(true);
         }
         let output_level = c.output_level;
-        let bottommost = output_level + 1 >= state.version.num_levels()
-            || (output_level + 1..state.version.num_levels())
-                .all(|l| state.version.files(l).is_empty());
+        let bottommost = crate::compaction::can_drop_tombstones(&state.version, &c);
         let target = self.opts.target_file_size_base.max(64 << 10)
             * (self.opts.target_file_size_multiplier.max(1) as u64)
                 .pow(output_level.saturating_sub(1) as u32);
@@ -2959,6 +3045,16 @@ impl DbInner {
     // Table access with timing
     // -----------------------------------------------------------------
 
+    /// File id used in block-cache keys. Shards of a [`crate::ShardedDb`]
+    /// share one cache but allocate file numbers independently, so each
+    /// shard tags its keys in the (otherwise unreachable) high bits.
+    fn cache_file_id(&self, file: FileNumber) -> FileNumber {
+        match &self.shard {
+            Some(ctx) => FileNumber(file.0 | ctx.cache_tag()),
+            None => file,
+        }
+    }
+
     fn open_table(&self, file: &FileMetadata, cpu: &mut SimDuration) -> Result<Arc<TableReader>> {
         if let Some(r) = self.table_cache.get(file.number) {
             // With cache_index_and_filter_blocks the resident metadata
@@ -2967,7 +3063,7 @@ impl DbInner {
             if self.opts.cache_index_and_filter_blocks {
                 if let Some(cache) = &self.block_cache {
                     let key = BlockKey {
-                        file: file.number,
+                        file: self.cache_file_id(file.number),
                         offset: u64::MAX,
                     };
                     if cache.get(&key).is_none() {
@@ -3003,7 +3099,7 @@ impl DbInner {
             if let Some(cache) = &self.block_cache {
                 cache.insert(
                     BlockKey {
-                        file: file.number,
+                        file: self.cache_file_id(file.number),
                         offset: u64::MAX,
                     },
                     Arc::new(vec![0u8; reader.resident_bytes() as usize]),
@@ -3029,7 +3125,7 @@ impl DbInner {
         cpu: &mut SimDuration,
     ) -> Result<Arc<Vec<u8>>> {
         let key = BlockKey {
-            file,
+            file: self.cache_file_id(file),
             offset: handle.offset,
         };
         if let Some(cache) = &self.block_cache {
@@ -3811,13 +3907,6 @@ mod tests {
         assert_eq!(db.scan_opt(&no_verify, b"key-00000", 3).unwrap().len(), 3);
     }
 
-    #[test]
-    fn deprecated_constructors_still_work() {
-        #[allow(deprecated)]
-        let db = Db::open_sim(Options::default(), &env()).unwrap();
-        db.put(b"k", b"v").unwrap();
-        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
-    }
 }
 
 #[cfg(test)]
@@ -3869,4 +3958,69 @@ mod compact_range_tests {
         assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
     }
 
+    /// Tombstones already at the bottom of the compacted range must still
+    /// be dropped, even when unrelated data elsewhere in the keyspace
+    /// sits deeper. The push-down loop alone leaves them stranded: once
+    /// the range's files are at its last populated level, nothing merges
+    /// them again, and the global "deeper levels empty" rule is defeated
+    /// by the unrelated deep data.
+    #[test]
+    fn compact_range_drops_bottommost_tombstones_despite_unrelated_deep_data() {
+        const N: u64 = 200;
+        let env = HardwareEnv::builder()
+            .cores(4)
+            .memory_gib(8)
+            .device(DeviceModel::nvme_ssd())
+            .build_sim();
+        let opts = Options {
+            disable_auto_compactions: true,
+            ..Options::default()
+        };
+        let db = Db::builder(opts).env(&env).open().unwrap();
+
+        // Park unrelated data at the deepest level: with a file in L0,
+        // the range picker keeps pushing, so one compact_range call walks
+        // the z-file level by level down to the bottom.
+        for i in 0..10u64 {
+            db.put(format!("z-{i}").as_bytes(), b"deep").unwrap();
+        }
+        db.flush().unwrap();
+        db.put(b"m", b"pin").unwrap();
+        db.flush().unwrap();
+        db.compact_range(b"z", b"z~").unwrap();
+        let levels = db.stats().levels;
+        let last = levels.len() - 1;
+        assert!(levels[last].0 > 0, "z-data at the bottom: {levels:?}");
+        db.compact_range(b"m", b"n").unwrap(); // clear the L0 pin
+
+        // Value phase: a-keys come to rest in the upper levels.
+        for i in 0..N {
+            db.put(format!("a-{i:03}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_range(b"a", b"b").unwrap();
+
+        // Tombstone phase.
+        for i in 0..N {
+            db.delete(format!("a-{i:03}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+
+        let dropped0 = db.stats().tickers.get(Ticker::CompactionKeyDropped);
+        db.compact_range(b"a", b"b").unwrap();
+        let delta = db.stats().tickers.get(Ticker::CompactionKeyDropped) - dropped0;
+
+        // The merge drops the N shadowed values; the bottommost rewrite
+        // must also drop the N tombstones themselves.
+        assert_eq!(
+            delta,
+            2 * N,
+            "tombstones stranded at the range's bottom level were not dropped"
+        );
+        for i in (0..N).step_by(37) {
+            assert_eq!(db.get(format!("a-{i:03}").as_bytes()).unwrap(), None);
+        }
+        assert_eq!(db.get(b"z-3").unwrap(), Some(b"deep".to_vec()));
+        assert_eq!(db.get(b"m").unwrap(), Some(b"pin".to_vec()));
+    }
 }

@@ -45,6 +45,7 @@ mod flush;
 mod listener;
 mod memtable;
 mod runtime;
+mod shard;
 mod stats;
 mod types;
 mod util;
@@ -59,6 +60,7 @@ pub use compaction::{
 };
 pub use db::{CostModel, Db, DbBuilder, DbStats, ReadOptions, ScanResult, WriteOptions};
 pub use error::{Error, ErrorKind, Result};
+pub use shard::{KvEngine, ShardedDb, ShardedDbBuilder};
 pub use fault::{FaultConfig, FaultInjectionVfs, TearStyle};
 pub use listener::{CompactionJobInfo, EventListener, FlushJobInfo, StallConditionsChanged};
 pub use memtable::{MemTable, MemTableGet};
@@ -68,5 +70,5 @@ pub use stats::{
 };
 pub use types::{FileNumber, InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE};
 pub use version::{CompactionLevelStats, FileMetadata, Version, VersionEdit};
-pub use vfs::{MemVfs, RandomAccessFile, StdVfs, Vfs, WritableFile};
+pub use vfs::{MemVfs, NamespaceVfs, RandomAccessFile, StdVfs, Vfs, WritableFile};
 pub use write_controller::{WriteController, WritePressure, WriteRegime};

@@ -262,6 +262,13 @@ pub struct Options {
     pub block_cache_size: u64,
     /// Disable the block cache entirely.
     pub no_block_cache: bool,
+
+    // ---- Sharding ----
+    /// Number of key-range shards (1 = plain single-tree DB).
+    pub num_shards: i64,
+    /// Per-shard size above which extra compaction pressure is charged
+    /// to the shared write controller (0 = disabled).
+    pub shard_bytes_soft_limit: u64,
 }
 
 impl Default for Options {
@@ -336,6 +343,9 @@ impl Default for Options {
             pin_l0_filter_and_index_blocks_in_cache: false,
             block_cache_size: 8 << 20,
             no_block_cache: false,
+
+            num_shards: 1,
+            shard_bytes_soft_limit: 0,
         }
     }
 }
@@ -430,6 +440,33 @@ impl Options {
         if self.target_file_size_base == 0 {
             return Err(Error::invalid_argument("target_file_size_base must be positive"));
         }
+        // Universal-compaction knobs are validated here (not silently
+        // clamped in the picker): option files and set_by_name go through
+        // the registry ranges, but direct struct construction must be
+        // rejected too so the picker can trust its inputs.
+        if self.universal_size_ratio < 0 || self.universal_size_ratio > 100 {
+            return Err(Error::invalid_argument(
+                "universal_size_ratio must be between 0 and 100",
+            ));
+        }
+        if self.universal_min_merge_width < 2 {
+            return Err(Error::invalid_argument(
+                "universal_min_merge_width must be at least 2",
+            ));
+        }
+        if self.universal_max_merge_width < self.universal_min_merge_width {
+            return Err(Error::invalid_argument(
+                "universal_max_merge_width cannot be below universal_min_merge_width",
+            ));
+        }
+        if self.universal_max_size_amplification_percent < 1 {
+            return Err(Error::invalid_argument(
+                "universal_max_size_amplification_percent must be at least 1",
+            ));
+        }
+        if self.num_shards < 1 || self.num_shards > 64 {
+            return Err(Error::invalid_argument("num_shards must be between 1 and 64"));
+        }
         Ok(())
     }
 }
@@ -474,6 +511,46 @@ mod tests {
             ..Options::default()
         };
         assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_universal_options() {
+        // Regression: these used to be silently clamped inside
+        // pick_universal (.max(0) / .max(2)) instead of rejected here.
+        let bad = [
+            Options { universal_size_ratio: -1, ..Options::default() },
+            Options { universal_size_ratio: 101, ..Options::default() },
+            Options { universal_min_merge_width: 0, ..Options::default() },
+            Options { universal_min_merge_width: 1, ..Options::default() },
+            Options {
+                universal_min_merge_width: 8,
+                universal_max_merge_width: 4,
+                ..Options::default()
+            },
+            Options {
+                universal_max_size_amplification_percent: 0,
+                ..Options::default()
+            },
+        ];
+        for o in bad {
+            assert!(o.validate().is_err(), "expected rejection: {o:?}");
+        }
+        // Boundary-valid values pass.
+        let ok = Options {
+            universal_size_ratio: 0,
+            universal_min_merge_width: 2,
+            universal_max_merge_width: 2,
+            universal_max_size_amplification_percent: 1,
+            ..Options::default()
+        };
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_shard_counts() {
+        assert!(Options { num_shards: 0, ..Options::default() }.validate().is_err());
+        assert!(Options { num_shards: 65, ..Options::default() }.validate().is_err());
+        Options { num_shards: 64, ..Options::default() }.validate().unwrap();
     }
 
     #[test]

@@ -408,6 +408,10 @@ fn build_registry() -> Vec<OptionMeta> {
             "Spin briefly before blocking when joining the write group"),
         opt_compression!(wal_compression, Db, false,
             "Compress WAL records (accepted; modeled as neutral)"),
+        opt_int!(num_shards, Db, (1.0, 64.0), false, true,
+            "Key-range shards, each an independent LSM tree behind one facade (1 = unsharded)"),
+        opt_size!(shard_bytes_soft_limit, Db, (0.0, TIB), true, true,
+            "Per-shard size beyond which extra compaction pressure is charged (0 = disabled)"),
         // ---------------- CFOptions ----------------
         opt_size!(write_buffer_size, Cf, (65_536.0, GIB64), true, true,
             "Memtable size that triggers a flush; bigger absorbs more writes but uses RAM"),

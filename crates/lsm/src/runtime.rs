@@ -168,6 +168,39 @@ impl BgShared {
     }
 }
 
+/// A counting permit budget for background jobs, shared by the shards of
+/// a sharded database so N independent trees respect one global
+/// `max_background_jobs` limit instead of N times it.
+///
+/// Fairness comes from permit granularity: a worker takes one permit per
+/// job and releases it when the job installs, so no shard can hold the
+/// whole budget longer than its currently running jobs.
+#[derive(Debug)]
+pub(crate) struct JobBudget {
+    available: AtomicU64,
+}
+
+impl JobBudget {
+    /// Creates a budget with `permits` concurrent job slots.
+    pub fn new(permits: usize) -> Self {
+        JobBudget {
+            available: AtomicU64::new(permits as u64),
+        }
+    }
+
+    /// Takes one permit; `false` when the budget is exhausted.
+    pub fn try_acquire(&self) -> bool {
+        self.available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Returns one permit.
+    pub fn release(&self) {
+        self.available.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
 /// Per-database concurrency state for wall-clock (real) execution mode.
 pub(crate) struct Runtime {
     /// Group-commit queue; writers park here and a leader drains it.

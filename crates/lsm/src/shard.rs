@@ -1,0 +1,1002 @@
+//! Key-range sharded database: N independent LSM trees behind one facade.
+//!
+//! A [`ShardedDb`] partitions the key space into `num_shards` contiguous
+//! ranges, each owned by a full [`Db`] (its own memtable, WAL, and SST
+//! tree) living under a `s{i}_` name prefix on the shared VFS. Writes
+//! route by key, so group commit stays shard-local and writers on
+//! disjoint ranges never contend on a memtable or WAL mutex — the point
+//! of sharding on multi-core hardware.
+//!
+//! What the shards *share*:
+//!
+//! - **Block cache**: one cache sized once by `block_cache_size`, handed
+//!   to every shard, so memory budget does not multiply by shard count.
+//! - **Background job budget**: a [`JobBudget`] with `max_background_jobs`
+//!   permits gates every shard's job claims, so N trees respect one
+//!   global limit. Fairness comes from permit granularity plus
+//!   cross-shard kicks on release.
+//! - **Write-controller debt**: each shard publishes its pending
+//!   compaction bytes (plus any excess over `shard_bytes_soft_limit`)
+//!   into a shared slot array; every shard's stall decision charges the
+//!   others' debt, so one hot shard slows all writers rather than racing
+//!   ahead of the shared budget.
+//!
+//! Cross-shard scans capture a per-shard snapshot sequence up front and
+//! concatenate per-shard scans in shard order — range partitioning means
+//! no k-way merge is needed. Batch writes are atomic per shard, not
+//! across shards (documented on [`ShardedDb::write`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use hw_sim::HardwareEnv;
+use parking_lot::Mutex;
+
+use crate::batch::WriteBatch;
+use crate::cache::BlockCache;
+use crate::db::{Db, DbStats, ReadOptions, ScanResult, WriteOptions};
+use crate::error::{Error, Result};
+use crate::options::Options;
+use crate::runtime::{BgShared, JobBudget};
+use crate::types::ValueType;
+use crate::vfs::{MemVfs, NamespaceVfs, Vfs};
+
+/// Marker file in the base directory recording the shard count, so a
+/// database cannot be reopened with a different partitioning (keys would
+/// silently land in the wrong tree).
+const SHARDS_MARKER: &str = "SHARDS";
+
+/// State shared by all shards of one [`ShardedDb`].
+pub(crate) struct ShardShared {
+    block_cache: Option<Arc<BlockCache>>,
+    budget: JobBudget,
+    /// Set when some shard failed to take a permit; the next release
+    /// kicks the peers. Gating kicks on real starvation matters: an
+    /// unconditional kick-on-release livelocks — every woken worker that
+    /// finds no job would wake the other shards' workers in turn.
+    starved: AtomicBool,
+    /// Per-shard published compaction debt, indexed by shard.
+    debt: Vec<AtomicU64>,
+    /// Worker-pool handles of every shard, for cross-shard kicks when a
+    /// budget permit frees up. `Weak` so the pool never outlives its Db.
+    peers: Mutex<Vec<Weak<BgShared>>>,
+}
+
+/// One shard's view of the shared state.
+#[derive(Clone)]
+pub(crate) struct ShardCtx {
+    shared: Arc<ShardShared>,
+    index: usize,
+}
+
+impl ShardCtx {
+    /// The cache all shards share (sized once by the facade).
+    pub fn shared_block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.shared.block_cache.clone()
+    }
+
+    /// High-bit tag mixed into block-cache file ids so shards (whose
+    /// file numbers overlap) never alias each other's blocks.
+    pub fn cache_tag(&self) -> u64 {
+        (self.index as u64 + 1) << 56
+    }
+
+    /// Publishes this shard's compaction debt and returns the sum of
+    /// every *other* shard's published debt, saturating.
+    pub fn publish_debt_and_sum_peers(&self, local: u64) -> u64 {
+        self.shared.debt[self.index].store(local, Ordering::Relaxed);
+        self.shared
+            .debt
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.index)
+            .map(|(_, d)| d.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Takes one permit from the global job budget. A failure records
+    /// starvation so the next release wakes the backed-off shards.
+    pub fn try_acquire_job(&self) -> bool {
+        let got = self.shared.budget.try_acquire();
+        if !got {
+            self.shared.starved.store(true, Ordering::Release);
+        }
+        got
+    }
+
+    /// Returns a permit. Only a release that follows a *completed job*
+    /// (`ran_job`) may kick starved peers: a permit freed by an empty
+    /// claim was never scarce, and kicking on it lets idle workers wake
+    /// each other in a storm — every woken worker finds no job, releases,
+    /// and re-kicks, saturating a small machine with context switches.
+    pub fn release_job(&self, ran_job: bool) {
+        self.shared.budget.release();
+        if !ran_job || !self.shared.starved.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let peers = self.shared.peers.lock();
+        let n = peers.len();
+        for off in 1..n {
+            if let Some(bg) = peers[(self.index + off) % n].upgrade() {
+                bg.kick();
+            }
+        }
+    }
+}
+
+/// Builder for [`ShardedDb`], mirroring [`Db::builder`].
+pub struct ShardedDbBuilder {
+    opts: Options,
+    env: Option<HardwareEnv>,
+    vfs: Option<Arc<dyn Vfs>>,
+    split_points: Option<Vec<Vec<u8>>>,
+}
+
+impl ShardedDbBuilder {
+    /// Runs against `env`'s clock and hardware model.
+    #[must_use]
+    pub fn env(mut self, env: &HardwareEnv) -> Self {
+        self.env = Some(env.clone());
+        self
+    }
+
+    /// Stores files on `vfs`; each shard lives under a `s{i}_` prefix.
+    #[must_use]
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Supplies explicit range boundaries instead of the default uniform
+    /// binary split. `points` must hold `num_shards - 1` strictly
+    /// increasing, non-empty keys; shard `i` owns `[points[i-1],
+    /// points[i])` with open ends. Callers whose keys are not uniform
+    /// over the byte space (e.g. zero-padded decimal, where every key
+    /// starts with `'0'`) need this, or all traffic lands in shard 0.
+    /// The boundaries are persisted in the `SHARDS` marker and must
+    /// match on reopen.
+    #[must_use]
+    pub fn split_points(mut self, points: Vec<Vec<u8>>) -> Self {
+        self.split_points = Some(points);
+        self
+    }
+
+    /// Opens (creating or recovering) every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::InvalidArgument`](crate::ErrorKind) for
+    /// inconsistent options or a shard count that does not match the
+    /// existing on-disk marker, and I/O/corruption errors from recovery.
+    pub fn open(self) -> Result<ShardedDb> {
+        let env = self
+            .env
+            .unwrap_or_else(|| HardwareEnv::builder().build_sim());
+        let vfs = self
+            .vfs
+            .unwrap_or_else(|| Arc::new(MemVfs::new()) as Arc<dyn Vfs>);
+        ShardedDb::open_impl(self.opts, &env, vfs, self.split_points)
+    }
+}
+
+/// A key-range partitioned database: `num_shards` independent LSM trees
+/// behind a [`Db`]-compatible facade. See the module docs for what is
+/// shared (block cache, job budget, stall debt) and what is per-shard
+/// (memtable, WAL, SST tree, group commit).
+///
+/// Like [`Db`], cloning is cheap (shared handles) and every method takes
+/// `&self`, so one facade can be shared across threads.
+#[derive(Clone)]
+pub struct ShardedDb {
+    shards: Vec<Db>,
+    /// `num_shards - 1` increasing boundaries; shard `i` owns keys in
+    /// `[split[i-1], split[i])` with the usual open ends. Two-byte
+    /// big-endian by default, caller-supplied via
+    /// [`ShardedDbBuilder::split_points`] otherwise.
+    split_points: Vec<Vec<u8>>,
+}
+
+impl ShardedDb {
+    /// Starts building a sharded database with `opts`; the shard count
+    /// comes from [`Options::num_shards`].
+    pub fn builder(opts: Options) -> ShardedDbBuilder {
+        ShardedDbBuilder {
+            opts,
+            env: None,
+            vfs: None,
+            split_points: None,
+        }
+    }
+
+    fn open_impl(
+        opts: Options,
+        env: &HardwareEnv,
+        vfs: Arc<dyn Vfs>,
+        custom_splits: Option<Vec<Vec<u8>>>,
+    ) -> Result<ShardedDb> {
+        opts.validate()?;
+        let n = opts.num_shards as usize;
+        if let Some(p) = &custom_splits {
+            validate_split_points(p, n)?;
+        }
+        // The partitioning is a persistent property of the database: an
+        // existing marker's boundaries win on reopen (callers need not
+        // re-supply them), but an *explicit* request that conflicts with
+        // them is an error — honouring it would misroute every key.
+        let splits = match read_marker(&*vfs)? {
+            Some((stored_n, stored)) => {
+                if stored_n != n {
+                    return Err(Error::invalid_argument(format!(
+                        "database was created with {stored_n} shards, reopened with {n}"
+                    )));
+                }
+                let stored = if stored.is_empty() { split_points(n) } else { stored };
+                if let Some(p) = custom_splits {
+                    if p != stored {
+                        return Err(Error::invalid_argument(
+                            "database was created with different shard split points",
+                        ));
+                    }
+                }
+                stored
+            }
+            None => {
+                let splits = custom_splits.unwrap_or_else(|| split_points(n));
+                write_marker(&*vfs, n, &splits)?;
+                splits
+            }
+        };
+
+        let block_cache = if opts.no_block_cache {
+            None
+        } else {
+            Some(Arc::new(BlockCache::new(opts.block_cache_size.max(1), 4)))
+        };
+        let shared = Arc::new(ShardShared {
+            block_cache,
+            budget: JobBudget::new(opts.max_background_jobs.clamp(1, 16) as usize),
+            starved: AtomicBool::new(false),
+            debt: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            peers: Mutex::new(Vec::with_capacity(n)),
+        });
+
+        let mut shard_opts = opts;
+        shard_opts.num_shards = 1;
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let ns = Arc::new(NamespaceVfs::new(Arc::clone(&vfs), format!("s{i}_")));
+            let db = Db::builder(shard_opts.clone())
+                .env(env)
+                .vfs(ns)
+                .shard_context(ShardCtx {
+                    shared: Arc::clone(&shared),
+                    index: i,
+                })
+                .open()?;
+            shards.push(db);
+        }
+        // Register worker pools only once every shard is open; a kick to
+        // a not-yet-listed peer is harmless (workers poll on a timeout).
+        {
+            let mut peers = shared.peers.lock();
+            for db in &shards {
+                peers.push(
+                    db.bg_shared()
+                        .map_or_else(Weak::new, |bg| Arc::downgrade(&bg)),
+                );
+            }
+        }
+        Ok(ShardedDb {
+            shards,
+            split_points: splits,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to shard `i` (tests and tooling).
+    pub fn shard(&self, i: usize) -> &Db {
+        &self.shards[i]
+    }
+
+    fn shard_for(&self, key: &[u8]) -> usize {
+        self.split_points
+            .partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::put`].
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.shards[self.shard_for(key)].put(key, value)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::delete`].
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.shards[self.shard_for(key)].delete(key)
+    }
+
+    /// Reads the newest value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::get`].
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.shards[self.shard_for(key)].get(key)
+    }
+
+    /// Reads the newest value for `key` under explicit [`ReadOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::get_opt`].
+    pub fn get_opt(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.shards[self.shard_for(key)].get_opt(ropts, key)
+    }
+
+    /// Applies a batch with default write options. Atomic *per shard*:
+    /// the batch is split by key range and each sub-batch commits
+    /// atomically in its shard, but there is no cross-shard transaction —
+    /// a reader may observe one shard's part before another's.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::write`].
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_opt(&WriteOptions::default(), batch)
+    }
+
+    /// Applies a batch under explicit [`WriteOptions`]; atomic per shard
+    /// (see [`write`](Self::write)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::write_opt`].
+    pub fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        if self.shards.len() == 1 {
+            return self.shards[0].write_opt(wopts, batch);
+        }
+        let mut parts: Vec<WriteBatch> = vec![WriteBatch::new(); self.shards.len()];
+        for (ty, key, value) in batch.iter() {
+            let part = &mut parts[self.shard_for(key)];
+            match ty {
+                ValueType::Value => part.put(key, value),
+                ValueType::Deletion => part.delete(key),
+            };
+        }
+        for (i, part) in parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[i].write_opt(wopts, part)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans forward from `start`, returning up to `count` live entries
+    /// across all shards in key order. Per-shard snapshot sequences are
+    /// captured before any shard is read, so entries already visible when
+    /// the scan starts are seen consistently even while writers run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::scan_opt`].
+    pub fn scan_opt(&self, ropts: &ReadOptions, start: &[u8], count: usize) -> Result<ScanResult> {
+        let pins: Vec<u64> = self.shards.iter().map(Db::snapshot_seq).collect();
+        let mut out = ScanResult::new();
+        let first = self.shard_for(start);
+        for (i, shard) in self.shards.iter().enumerate().skip(first) {
+            if out.len() >= count {
+                break;
+            }
+            let mut shard_ropts = *ropts;
+            if shard_ropts.snapshot_seq.is_none() {
+                shard_ropts.snapshot_seq = Some(pins[i]);
+            }
+            let from = if i == first { start } else { b"" as &[u8] };
+            out.extend(shard.scan_opt(&shard_ropts, from, count - out.len())?);
+        }
+        Ok(out)
+    }
+
+    /// Scans forward from `start` with default read options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::scan`].
+    pub fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        self.scan_opt(&ReadOptions::default(), start, count)
+    }
+
+    /// Flushes every shard's memtable.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::flush`].
+    pub fn flush(&self) -> Result<()> {
+        for db in &self.shards {
+            db.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts every shard fully.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::compact_all`].
+    pub fn compact_all(&self) -> Result<()> {
+        for db in &self.shards {
+            db.compact_all()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every shard's background work is drained.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::wait_background_idle`].
+    pub fn wait_background_idle(&self) -> Result<()> {
+        for db in &self.shards {
+            db.wait_background_idle()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated statistics across all shards. Tickers, level shapes,
+    /// and debt sum; the shared block cache is counted once.
+    pub fn stats(&self) -> DbStats {
+        let mut agg = self.shards[0].stats();
+        for db in &self.shards[1..] {
+            let s = db.stats();
+            agg.tickers.merge(&s.tickers);
+            if agg.levels.len() < s.levels.len() {
+                agg.levels.resize(s.levels.len(), (0, 0));
+            }
+            for (l, (files, bytes)) in s.levels.iter().enumerate() {
+                agg.levels[l].0 += files;
+                agg.levels[l].1 += bytes;
+            }
+            agg.memtable_bytes += s.memtable_bytes;
+            agg.immutable_memtables += s.immutable_memtables;
+            agg.pending_compaction_bytes =
+                agg.pending_compaction_bytes.saturating_add(s.pending_compaction_bytes);
+            agg.running_background_jobs += s.running_background_jobs;
+            agg.last_sequence = agg.last_sequence.max(s.last_sequence);
+            agg.background_retries += s.background_retries;
+            agg.wal_rotations += s.wal_rotations;
+            agg.manifest_resyncs += s.manifest_resyncs;
+            agg.wal_sync_retries += s.wal_sync_retries;
+            // block_cache / block_cache_capacity: shared, already counted.
+        }
+        agg
+    }
+
+    /// Human-readable statistics: an aggregated summary followed by one
+    /// section per shard.
+    pub fn stats_text(&self) -> String {
+        use std::fmt::Write as _;
+        if self.shards.len() == 1 {
+            return self.shards[0].stats_text();
+        }
+        let agg = self.stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "** Aggregate across {} shards **",
+            self.shards.len()
+        );
+        let _ = writeln!(
+            out,
+            "last_sequence: {}  pending_compaction_bytes: {}  running_bg_jobs: {}",
+            agg.last_sequence, agg.pending_compaction_bytes, agg.running_background_jobs
+        );
+        for (l, (files, bytes)) in agg.levels.iter().enumerate() {
+            if *files > 0 {
+                let _ = writeln!(out, "  L{l}: {files} files, {bytes} bytes");
+            }
+        }
+        for (i, db) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "\n** Shard {i} **");
+            out.push_str(&db.stats_text());
+        }
+        out
+    }
+}
+
+/// One database abstraction over [`Db`] and [`ShardedDb`], so benchmark
+/// drivers and tools run unchanged against either.
+pub trait KvEngine: Send + Sync {
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::put`].
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Deletes a key.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::delete`].
+    fn delete(&self, key: &[u8]) -> Result<()>;
+    /// Reads the newest value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::get`].
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Applies a batch (atomic per shard for sharded engines).
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::write_opt`].
+    fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()>;
+    /// Scans forward from `start` for up to `count` live entries.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::scan`].
+    fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult>;
+    /// Flushes the memtable(s).
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::flush`].
+    fn flush(&self) -> Result<()>;
+    /// Waits for background work to drain.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::wait_background_idle`].
+    fn wait_background_idle(&self) -> Result<()>;
+    /// Point-in-time statistics.
+    fn stats(&self) -> DbStats;
+    /// Human-readable statistics report.
+    fn stats_text(&self) -> String;
+}
+
+impl KvEngine for Db {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Db::put(self, key, value)
+    }
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        Db::delete(self, key)
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Db::get(self, key)
+    }
+    fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        Db::write_opt(self, wopts, batch)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        Db::scan(self, start, count)
+    }
+    fn flush(&self) -> Result<()> {
+        Db::flush(self)
+    }
+    fn wait_background_idle(&self) -> Result<()> {
+        Db::wait_background_idle(self)
+    }
+    fn stats(&self) -> DbStats {
+        Db::stats(self)
+    }
+    fn stats_text(&self) -> String {
+        Db::stats_text(self)
+    }
+}
+
+impl KvEngine for ShardedDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        ShardedDb::put(self, key, value)
+    }
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        ShardedDb::delete(self, key)
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        ShardedDb::get(self, key)
+    }
+    fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        ShardedDb::write_opt(self, wopts, batch)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        ShardedDb::scan(self, start, count)
+    }
+    fn flush(&self) -> Result<()> {
+        ShardedDb::flush(self)
+    }
+    fn wait_background_idle(&self) -> Result<()> {
+        ShardedDb::wait_background_idle(self)
+    }
+    fn stats(&self) -> DbStats {
+        ShardedDb::stats(self)
+    }
+    fn stats_text(&self) -> String {
+        ShardedDb::stats_text(self)
+    }
+}
+
+/// Evenly spaced two-byte big-endian boundaries: shard `i` of `n` owns
+/// keys whose first two bytes fall in `[i*65536/n, (i+1)*65536/n)`.
+fn split_points(n: usize) -> Vec<Vec<u8>> {
+    (1..n)
+        .map(|i| {
+            let b = (i as u32 * 65536 / n as u32) as u16;
+            b.to_be_bytes().to_vec()
+        })
+        .collect()
+}
+
+/// Rejects boundary lists that would misroute keys: wrong count, empty
+/// boundaries (indistinguishable from the open left end), or any pair
+/// out of strict order.
+fn validate_split_points(points: &[Vec<u8>], n: usize) -> Result<()> {
+    if points.len() + 1 != n {
+        return Err(Error::invalid_argument(format!(
+            "{n} shards need {} split points, got {}",
+            n - 1,
+            points.len()
+        )));
+    }
+    for (i, p) in points.iter().enumerate() {
+        if p.is_empty() {
+            return Err(Error::invalid_argument("empty split point"));
+        }
+        if i > 0 && points[i - 1].as_slice() >= p.as_slice() {
+            return Err(Error::invalid_argument(format!(
+                "split points must be strictly increasing (point {i} is not)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(line: &str) -> Result<Vec<u8>> {
+    if !line.len().is_multiple_of(2) || !line.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(Error::corruption(format!("bad split point in SHARDS marker: {line:?}")));
+    }
+    Ok((0..line.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&line[i..i + 2], 16).expect("checked hex"))
+        .collect())
+}
+
+/// Reads the marker: shard count plus the persisted split boundaries
+/// (empty for markers written before boundaries were recorded).
+fn read_marker(vfs: &dyn Vfs) -> Result<Option<(usize, Vec<Vec<u8>>)>> {
+    if !vfs.exists(SHARDS_MARKER) {
+        return Ok(None);
+    }
+    let raw = vfs.read_all(SHARDS_MARKER)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut lines = text.lines();
+    let head = lines.next().unwrap_or("");
+    let n: usize = head
+        .trim()
+        .parse()
+        .map_err(|_| Error::corruption(format!("bad SHARDS marker: {text:?}")))?;
+    let splits = lines
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(unhex)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Some((n, splits)))
+}
+
+/// Writes the marker recording the partitioning: the shard count on the
+/// first line, then one hex-encoded boundary per line.
+fn write_marker(vfs: &dyn Vfs, n: usize, splits: &[Vec<u8>]) -> Result<()> {
+    let mut f = vfs.create(SHARDS_MARKER)?;
+    let mut body = format!("{n}\n");
+    for p in splits {
+        body.push_str(&hex(p));
+        body.push('\n');
+    }
+    f.append(body.as_bytes())?;
+    f.sync()?;
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Ticker;
+
+    fn sim_env() -> HardwareEnv {
+        HardwareEnv::builder().build_sim()
+    }
+
+    #[test]
+    fn split_points_partition_the_key_space() {
+        let splits = split_points(4);
+        assert_eq!(splits, vec![vec![0x40, 0x00], vec![0x80, 0x00], vec![0xc0, 0x00]]);
+        let db = ShardedDb::builder(Options {
+            num_shards: 4,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        assert_eq!(db.shard_for(b""), 0);
+        assert_eq!(db.shard_for(&[0x3f, 0xff]), 0);
+        assert_eq!(db.shard_for(&[0x40]), 0); // shorter than the boundary
+        assert_eq!(db.shard_for(&[0x40, 0x00]), 1);
+        assert_eq!(db.shard_for(&[0x80, 0x00, 0x01]), 2);
+        assert_eq!(db.shard_for(&[0xff, 0xff]), 3);
+    }
+
+    #[test]
+    fn routes_reads_writes_and_deletes() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 4,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        let keys: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b, b, b]).collect();
+        for k in &keys {
+            db.put(k, k).unwrap();
+        }
+        for k in &keys {
+            assert_eq!(db.get(k).unwrap().as_deref(), Some(k.as_slice()));
+        }
+        db.delete(&keys[7]).unwrap();
+        assert_eq!(db.get(&keys[7]).unwrap(), None);
+        // Every shard saw some of the writes.
+        for i in 0..db.num_shards() {
+            assert!(
+                db.shard(i).stats().tickers.get(Ticker::BytesWritten) > 0,
+                "shard {i} got no writes"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_writes_split_by_range() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 2,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(&[0x10], b"low");
+        batch.put(&[0xf0], b"high");
+        batch.delete(&[0x11]);
+        db.write(batch).unwrap();
+        assert_eq!(db.get(&[0x10]).unwrap(), Some(b"low".to_vec()));
+        assert_eq!(db.get(&[0xf0]).unwrap(), Some(b"high".to_vec()));
+        assert_eq!(db.get(&[0x11]).unwrap(), None);
+    }
+
+    #[test]
+    fn cross_shard_scan_is_ordered_and_complete() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 4,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        let mut keys: Vec<Vec<u8>> = (0..=255u8).step_by(3).map(|b| vec![b, 0x55]).collect();
+        for k in &keys {
+            db.put(k, b"v").unwrap();
+        }
+        keys.sort();
+        let got = db.scan(b"", usize::MAX).unwrap();
+        assert_eq!(got.len(), keys.len());
+        assert!(got.iter().map(|(k, _)| k).eq(keys.iter()), "scan out of order");
+        // Mid-range start lands mid-shard and spills across boundaries.
+        let tail = db.scan(&[0x7d], 10).unwrap();
+        assert_eq!(tail.len(), 10);
+        assert!(tail.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(tail[0].0.as_slice() >= [0x7d].as_slice());
+    }
+
+    #[test]
+    fn shards_share_one_block_cache() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 4,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        for b in 0..=255u8 {
+            db.put(&[b, b], &[b; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        for b in 0..=255u8 {
+            assert_eq!(db.get(&[b, b]).unwrap(), Some(vec![b; 64]));
+        }
+        let agg = db.stats();
+        // All four shards report the SAME shared cache, and it served
+        // inserts from every shard's reads.
+        let c0 = db.shard(0).stats().block_cache;
+        let c3 = db.shard(3).stats().block_cache;
+        assert_eq!(c0.inserts, c3.inserts);
+        assert!(agg.block_cache.inserts >= 4, "cache unused: {:?}", agg.block_cache);
+    }
+
+    #[test]
+    fn reopen_with_different_shard_count_is_rejected() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let env = sim_env();
+        let opts = Options {
+            num_shards: 4,
+            ..Options::default()
+        };
+        let db = ShardedDb::builder(opts.clone())
+            .env(&env)
+            .vfs(Arc::clone(&vfs))
+            .open()
+            .unwrap();
+        db.put(b"k", b"v").unwrap();
+        drop(db);
+        let err = match ShardedDb::builder(Options {
+            num_shards: 2,
+            ..opts.clone()
+        })
+        .env(&env)
+        .vfs(Arc::clone(&vfs))
+        .open()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("reopen with a different shard count succeeded"),
+        };
+        assert!(err.to_string().contains("4 shards"), "{err}");
+        // Matching count reopens and recovers.
+        let db = ShardedDb::builder(opts).env(&env).vfs(vfs).open().unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn aggregated_stats_sum_tickers_and_levels() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 2,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        db.put(&[0x01], b"a").unwrap();
+        db.put(&[0xfe], b"b").unwrap();
+        db.flush().unwrap();
+        db.wait_background_idle().unwrap();
+        let agg = db.stats();
+        let per: u64 = (0..2)
+            .map(|i| db.shard(i).stats().tickers.get(Ticker::BytesWritten))
+            .sum();
+        assert_eq!(agg.tickers.get(Ticker::BytesWritten), per);
+        let files: usize = agg.levels.iter().map(|(f, _)| f).sum();
+        let per_files: usize = (0..2)
+            .map(|i| db.shard(i).stats().levels.iter().map(|(f, _)| f).sum::<usize>())
+            .sum();
+        assert_eq!(files, per_files);
+        let text = db.stats_text();
+        assert!(text.contains("Aggregate across 2 shards"), "{text}");
+        assert!(text.contains("** Shard 1 **"), "{text}");
+    }
+
+    #[test]
+    fn custom_split_points_route_skewed_keys() {
+        // Decimal-rendered keys all start with '0': the default binary
+        // boundaries would put everything in shard 0.
+        let db = ShardedDb::builder(Options {
+            num_shards: 3,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .split_points(vec![b"0100".to_vec(), b"0200".to_vec()])
+        .open()
+        .unwrap();
+        for i in 0..300u32 {
+            let k = format!("{i:04}");
+            db.put(k.as_bytes(), b"v").unwrap();
+        }
+        for i in 0..db.num_shards() {
+            assert!(
+                db.shard(i).stats().tickers.get(Ticker::BytesWritten) > 0,
+                "shard {i} got no writes"
+            );
+        }
+        // Scans still come back globally ordered across custom bounds.
+        let got = db.scan(b"", usize::MAX).unwrap();
+        assert_eq!(got.len(), 300);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn invalid_split_points_are_rejected() {
+        let cases: Vec<Vec<Vec<u8>>> = vec![
+            vec![b"a".to_vec()],                  // wrong count for 3 shards
+            vec![b"b".to_vec(), b"a".to_vec()],   // out of order
+            vec![b"a".to_vec(), b"a".to_vec()],   // duplicate
+            vec![Vec::new(), b"a".to_vec()],      // empty boundary
+        ];
+        for points in cases {
+            let r = ShardedDb::builder(Options {
+                num_shards: 3,
+                ..Options::default()
+            })
+            .env(&sim_env())
+            .split_points(points.clone())
+            .open();
+            assert!(r.is_err(), "accepted bad split points {points:?}");
+        }
+    }
+
+    #[test]
+    fn reopen_with_different_split_points_is_rejected() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let env = sim_env();
+        let opts = Options {
+            num_shards: 2,
+            ..Options::default()
+        };
+        let db = ShardedDb::builder(opts.clone())
+            .env(&env)
+            .vfs(Arc::clone(&vfs))
+            .split_points(vec![b"m".to_vec()])
+            .open()
+            .unwrap();
+        db.put(b"k", b"v").unwrap();
+        drop(db);
+        // Same count, different boundary: keys would silently misroute.
+        let r = ShardedDb::builder(opts.clone())
+            .env(&env)
+            .vfs(Arc::clone(&vfs))
+            .split_points(vec![b"q".to_vec()])
+            .open();
+        match r {
+            Err(e) => assert!(e.to_string().contains("split points"), "{e}"),
+            Ok(_) => panic!("reopen with different split points succeeded"),
+        }
+        // Matching boundaries reopen fine.
+        let db = ShardedDb::builder(opts)
+            .env(&env)
+            .vfs(vfs)
+            .split_points(vec![b"m".to_vec()])
+            .open()
+            .unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn reopen_without_split_points_adopts_stored_boundaries() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let env = sim_env();
+        let opts = Options {
+            num_shards: 2,
+            ..Options::default()
+        };
+        // Created with a custom boundary: "zz" routes to shard 1 only
+        // under the stored split, not under the default binary one.
+        let db = ShardedDb::builder(opts.clone())
+            .env(&env)
+            .vfs(Arc::clone(&vfs))
+            .split_points(vec![b"m".to_vec()])
+            .open()
+            .unwrap();
+        db.put(b"zz", b"v").unwrap();
+        assert_eq!(db.shard_for(b"zz"), 1);
+        drop(db);
+        let db = ShardedDb::builder(opts).env(&env).vfs(vfs).open().unwrap();
+        assert_eq!(db.shard_for(b"zz"), 1, "reopen ignored stored boundaries");
+        assert_eq!(db.get(b"zz").unwrap(), Some(b"v".to_vec()));
+    }
+}

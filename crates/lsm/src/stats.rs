@@ -141,6 +141,14 @@ impl TickerSnapshot {
         }
         TickerSnapshot { values }
     }
+
+    /// Adds another snapshot's counts into this one (saturating) —
+    /// sharded databases aggregate per-shard tickers this way.
+    pub fn merge(&mut self, other: &TickerSnapshot) {
+        for (v, o) in self.values.iter_mut().zip(&other.values) {
+            *v = v.saturating_add(*o);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

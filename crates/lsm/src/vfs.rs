@@ -381,6 +381,84 @@ impl Vfs for MemVfs {
 }
 
 // ---------------------------------------------------------------------------
+// Namespaced view of another VFS
+// ---------------------------------------------------------------------------
+
+/// A view of another VFS with every path prefixed.
+///
+/// Gives each shard of a sharded database its own flat file namespace
+/// (`s0_CURRENT`, `s1_CURRENT`, ...) on a single backing store, so one
+/// directory (or one [`MemVfs`]) holds all shards and crash/fault
+/// injection layers wrap the whole database at once.
+#[derive(Clone)]
+pub struct NamespaceVfs {
+    base: Arc<dyn Vfs>,
+    prefix: String,
+}
+
+impl NamespaceVfs {
+    /// Creates a view of `base` where every path gains `prefix`.
+    pub fn new(base: Arc<dyn Vfs>, prefix: impl Into<String>) -> Self {
+        NamespaceVfs {
+            base,
+            prefix: prefix.into(),
+        }
+    }
+
+    fn full(&self, path: &str) -> String {
+        format!("{}{}", self.prefix, path)
+    }
+}
+
+impl fmt::Debug for NamespaceVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NamespaceVfs")
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Vfs for NamespaceVfs {
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        self.base.create(&self.full(path))
+    }
+
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.base.open(&self.full(path))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        self.base.read_all(&self.full(path))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.base.delete(&self.full(path))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.base.rename(&self.full(from), &self.full(to))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.base.exists(&self.full(path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let full = self.full(prefix);
+        Ok(self
+            .base
+            .list(&full)?
+            .into_iter()
+            .filter_map(|name| name.strip_prefix(&self.prefix).map(String::from))
+            .collect())
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.base.file_size(&self.full(path))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Real file system VFS
 // ---------------------------------------------------------------------------
 
@@ -563,6 +641,23 @@ mod tests {
         let vfs = StdVfs::new(&dir).unwrap();
         exercise(&vfs);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn namespace_vfs_isolates_and_strips_prefix() {
+        let base = Arc::new(MemVfs::new());
+        let a = NamespaceVfs::new(Arc::clone(&base) as Arc<dyn Vfs>, "s0_");
+        let b = NamespaceVfs::new(Arc::clone(&base) as Arc<dyn Vfs>, "s1_");
+        exercise(&a);
+
+        let mut f = a.create("CURRENT").unwrap();
+        f.append(b"manifest-1").unwrap();
+        f.finish().unwrap();
+        assert!(a.exists("CURRENT"));
+        assert!(!b.exists("CURRENT"), "namespaces are disjoint");
+        assert!(base.exists("s0_CURRENT"), "base sees the prefixed name");
+        assert_eq!(a.list("CUR").unwrap(), vec!["CURRENT".to_string()]);
+        assert!(b.list("").unwrap().is_empty());
     }
 
     #[test]

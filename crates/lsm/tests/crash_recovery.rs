@@ -15,7 +15,8 @@ use std::sync::Arc;
 use hw_sim::HardwareEnv;
 use lsm_kvs::options::Options;
 use lsm_kvs::{
-    Db, FaultConfig, FaultInjectionVfs, MemVfs, TearStyle, Vfs, WriteBatch, WriteOptions,
+    Db, FaultConfig, FaultInjectionVfs, KvEngine, MemVfs, ShardedDb, TearStyle, Vfs, WriteBatch,
+    WriteOptions,
 };
 
 /// xorshift64* — deterministic randomness for the harness.
@@ -54,13 +55,13 @@ fn crash_opts() -> Options {
     }
 }
 
-fn put_opt(db: &Db, key: &[u8], value: &[u8], sync: bool) -> lsm_kvs::Result<()> {
+fn put_opt<E: KvEngine + ?Sized>(db: &E, key: &[u8], value: &[u8], sync: bool) -> lsm_kvs::Result<()> {
     let mut batch = WriteBatch::new();
     batch.put(key, value);
     db.write_opt(&WriteOptions { sync }, batch)
 }
 
-fn delete_opt(db: &Db, key: &[u8], sync: bool) -> lsm_kvs::Result<()> {
+fn delete_opt<E: KvEngine + ?Sized>(db: &E, key: &[u8], sync: bool) -> lsm_kvs::Result<()> {
     let mut batch = WriteBatch::new();
     batch.delete(key);
     db.write_opt(&WriteOptions { sync }, batch)
@@ -235,6 +236,81 @@ fn randomized_crash_cycles_sim() {
         }
     }
     assert!(cycles_with_faults > 20, "fault arming never triggered");
+    assert!(!history.is_empty());
+}
+
+/// The randomized crash harness against a 4-shard [`ShardedDb`]: every
+/// shard shares one fault layer, so a power cut tears all four WALs at
+/// once, and every cycle must recover each shard to a legal state. Keys
+/// spread uniformly over the shard boundaries, so routing, the SHARDS
+/// marker, and per-shard WAL replay all run under fire.
+#[test]
+fn sharded_randomized_crash_cycles_sim() {
+    let mut rng = Rng::new(0x5AAD_ED00_C0DE_CAFE);
+    let fault = FaultInjectionVfs::wrap(Arc::new(MemVfs::new()));
+    let mut history: History = BTreeMap::new();
+    let mut opts = crash_opts();
+    opts.num_shards = 4;
+
+    for cycle in 0..50u64 {
+        fault.clear_faults();
+        let db = ShardedDb::builder(opts.clone())
+            .env(&sim_env())
+            .vfs(Arc::new(fault.clone()))
+            .open()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: sharded reopen failed: {e}"));
+
+        for (key, hist) in &history {
+            let got = db
+                .get(key)
+                .unwrap_or_else(|e| panic!("cycle {cycle}: fault-free get failed: {e}"));
+            assert_recovered(key, hist, &got);
+        }
+
+        if rng.chance(0.5) {
+            fault.set_config(FaultConfig {
+                write_error_prob: 0.02,
+                sync_error_prob: 0.02,
+                metadata_error_prob: 0.01,
+                errors_are_retryable: rng.chance(0.7),
+                ..FaultConfig::default()
+            });
+            if rng.chance(0.3) {
+                fault.fail_after_ops(rng.below(20));
+            }
+        }
+
+        let ops = 10 + rng.below(40);
+        for _ in 0..ops {
+            // First byte uniform over [0, 256) so every shard gets traffic.
+            let mut key = vec![rng.below(256) as u8];
+            key.extend_from_slice(format!("k{:02}", rng.below(40)).as_bytes());
+            let sync = rng.chance(0.3);
+            let entry = if rng.chance(0.1) {
+                let res = delete_opt(&db, &key, sync);
+                (None, res.is_ok() && sync)
+            } else {
+                let value = format!("s{}-{}", cycle, rng.below(1_000_000)).into_bytes();
+                let res = put_opt(&db, &key, &value, sync);
+                (Some(value), res.is_ok() && sync)
+            };
+            history.entry(key).or_default().push(entry);
+        }
+
+        match rng.below(5) {
+            0 => drop(db),
+            1 | 2 => {
+                fault.power_off();
+                drop(db);
+                fault.reboot(TearStyle::DropUnsynced);
+            }
+            _ => {
+                fault.power_off();
+                drop(db);
+                fault.reboot(TearStyle::TearTail { seed: rng.next() });
+            }
+        }
+    }
     assert!(!history.is_empty());
 }
 

@@ -12,11 +12,46 @@
 
 use std::sync::Arc;
 
-use db_bench::{run_benchmark, run_benchmark_real, run_crash_loop, BenchmarkSpec};
+use db_bench::{render_key, run_benchmark, run_benchmark_real, run_crash_loop, BenchmarkSpec};
 use hw_sim::{DeviceModel, HardwareEnv};
 use lsm_kvs::options::Options;
-use lsm_kvs::vfs::{MemVfs, StdVfs};
-use lsm_kvs::Db;
+use lsm_kvs::vfs::{MemVfs, StdVfs, Vfs};
+use lsm_kvs::{Db, KvEngine, ShardedDb};
+
+/// Opens either a plain [`Db`] (`--shards 1`, the default) or a
+/// [`ShardedDb`] facade. The unsharded path stays exactly the plain
+/// `Db::builder` path so single-shard runs are byte-identical.
+///
+/// Benchmark keys are zero-padded decimal, so the engine's default
+/// (uniform binary) split points would route every key to shard 0; the
+/// boundaries are derived from the benchmark's own key space instead.
+fn open_engine(
+    opts: &Options,
+    shards: i64,
+    env: &HardwareEnv,
+    vfs: Arc<dyn Vfs>,
+    spec: &BenchmarkSpec,
+) -> lsm_kvs::Result<Box<dyn KvEngine>> {
+    if shards > 1 {
+        let mut sopts = opts.clone();
+        sopts.num_shards = shards;
+        let mut builder = ShardedDb::builder(sopts).env(env);
+        // Only a fresh database gets derived boundaries; an existing one
+        // already persisted its partitioning in the SHARDS marker, and
+        // the engine adopts that on reopen (this benchmark's key space
+        // may differ from the one the database was created with).
+        if !vfs.exists("SHARDS") {
+            let n = shards as u64;
+            let points: Vec<Vec<u8>> = (1..n)
+                .map(|i| render_key(i * spec.key_space.max(1) / n, spec.key_size))
+                .collect();
+            builder = builder.split_points(points);
+        }
+        Ok(Box::new(builder.vfs(vfs).open()?))
+    } else {
+        Ok(Box::new(Db::builder(opts.clone()).env(env).vfs(vfs).open()?))
+    }
+}
 
 fn main() {
     if let Err(e) = run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -40,6 +75,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut db_dir: Option<String> = None;
     let mut crash_loop: Option<u64> = None;
     let mut stats_dump = false;
+    let mut shards: i64 = 1;
 
     let mut i = 0;
     while i < args.len() {
@@ -75,11 +111,12 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--db" => db_dir = Some(take(&mut i)?),
             "--crash-loop" => crash_loop = Some(take(&mut i)?.parse()?),
             "--stats_dump" | "--stats-dump" => stats_dump = true,
+            "--shards" => shards = take(&mut i)?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
                      [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
-                     [--stats_dump] \
+                     [--stats_dump] [--shards N] \
                      [--real-time [--threads N] [--sync true|false] [--db dir]] \
                      [--crash-loop N [--db dir]]"
                 );
@@ -147,11 +184,12 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     (d.to_string_lossy().into_owned(), true)
                 }
             };
-            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(StdVfs::new(&dir)?)).open()?;
+            let db = open_engine(&opts, shards, &env, Arc::new(StdVfs::new(&dir)?), &spec)?;
             eprintln!(
-                "running {name} for real: {n_threads} thread(s), sync={sync}, dir={dir} ..."
+                "running {name} for real: {n_threads} thread(s), sync={sync}, \
+                 shards={shards}, dir={dir} ..."
             );
-            let report = run_benchmark_real(&db, &spec, n_threads, sync)?;
+            let report = run_benchmark_real(&*db, &spec, n_threads, sync)?;
             // Captured before close: the dump reads engine state.
             let dump = stats_dump.then(|| db.stats_text());
             drop(db);
@@ -168,9 +206,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .memory_gib(mem_gib)
                 .device(device.clone())
                 .build_sim();
-            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(MemVfs::new())).open()?;
+            let db = open_engine(&opts, shards, &env, Arc::new(MemVfs::new()), &spec)?;
             eprintln!("running {name} on {} ...", env.description());
-            let report = run_benchmark(&db, &env, &spec, None)?;
+            let report = run_benchmark(&*db, &env, &spec, None)?;
             println!("{}", report.to_db_bench_text());
             if stats_dump {
                 println!("{}", db.stats_text());

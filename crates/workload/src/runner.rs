@@ -8,7 +8,7 @@
 //! multi-threaded runs deterministic and seed-reproducible.
 
 use hw_sim::{HardwareEnv, SimDuration, SimTime, UtilizationSample};
-use lsm_kvs::{Db, Histogram, Result};
+use lsm_kvs::{Histogram, KvEngine, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,8 +25,8 @@ use crate::spec::{BenchmarkSpec, WorkloadKind};
 /// # Errors
 ///
 /// Propagates engine errors (I/O, corruption, stall timeouts).
-pub fn run_benchmark(
-    db: &Db,
+pub fn run_benchmark<E: KvEngine + ?Sized>(
+    db: &E,
     env: &HardwareEnv,
     spec: &BenchmarkSpec,
     mut monitor: Option<&mut dyn FnMut(&MonitorSample) -> MonitorControl>,
@@ -164,8 +164,8 @@ pub fn run_benchmark(
 ///
 /// Propagates the first engine error any thread hits (I/O, corruption,
 /// stall timeouts).
-pub fn run_benchmark_real(
-    db: &Db,
+pub fn run_benchmark_real<E: KvEngine + ?Sized>(
+    db: &E,
     spec: &BenchmarkSpec,
     threads: usize,
     sync: bool,
@@ -260,7 +260,7 @@ pub fn run_benchmark_real(
 /// Fills the database with `spec.preload_keys` keys in pseudo-random
 /// order, then waits for background work so the measured phase starts
 /// from a settled tree.
-fn preload(db: &Db, spec: &BenchmarkSpec) -> Result<()> {
+fn preload<E: KvEngine + ?Sized>(db: &E, spec: &BenchmarkSpec) -> Result<()> {
     let n = spec.preload_keys;
     let mut value_gen = ValueGenerator::fixed(spec.seed, spec.value_size, spec.value_entropy);
     // Walk the whole key space in scattered order via `i * mult mod n`,
@@ -370,6 +370,7 @@ mod tests {
     use super::*;
     use hw_sim::DeviceModel;
     use lsm_kvs::options::Options;
+    use lsm_kvs::Db;
 
     fn env() -> HardwareEnv {
         HardwareEnv::builder()
