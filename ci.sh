@@ -38,6 +38,34 @@ cargo test -q -p lsm-kvs listener_fires_once_per_stall_transition
 cargo test -q -p elmo-tune parses_stats_dump_sections
 cargo test -q -p elmo-tune stats_dump
 
+echo "==> serving gate: kv_server end-to-end (remote bench, stats RPC, clean shutdown)"
+SERVE_DIR="$(mktemp -d)"
+./target/release/kv_server --db "$SERVE_DIR" --listen 127.0.0.1:7491 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$CRASH_DIR" "$SERVE_DIR"' EXIT
+sleep 1
+timeout 120 ./target/release/db_bench --benchmarks fillrandom --num 5000 \
+    --remote 127.0.0.1:7491 --threads 4 > /tmp/ci-remote.txt
+timeout 120 ./target/release/db_bench --benchmarks readrandom --num 5000 \
+    --remote 127.0.0.1:7491 --threads 4 --stats_dump >> /tmp/ci-remote.txt
+grep -q "^fillrandom" /tmp/ci-remote.txt
+grep -q "^readrandom" /tmp/ci-remote.txt
+# The Stats RPC must return a parseable dump: the engine's section plus
+# the server's own counters.
+grep -q "\*\* DB Stats \*\*" /tmp/ci-remote.txt
+grep -q "\*\* Server Stats \*\*" /tmp/ci-remote.txt
+grep -q "requests_ok" /tmp/ci-remote.txt
+timeout 30 ./target/release/kv_server --shutdown 127.0.0.1:7491
+wait "$SERVER_PID"
+trap 'rm -rf "$CRASH_DIR" "$SERVE_DIR"' EXIT
+rm -f /tmp/ci-remote.txt
+
+echo "==> serving gate: protocol robustness + shutdown durability tests"
+timeout 120 cargo test -q -p lsm-server
+
+echo "==> read-accounting gate: metadata re-reads and table-cache reservations"
+cargo test -q -p lsm-kvs --test read_accounting
+
 echo "==> determinism gate: repro table5 must be byte-identical run-to-run"
 ./target/release/repro table5 > /tmp/ci-table5-a.txt
 ./target/release/repro table5 > /tmp/ci-table5-b.txt

@@ -343,11 +343,19 @@ impl<T> TableCache<T> {
     }
 
     /// Inserts a freshly opened reader, evicting the LRU one if full.
-    pub fn insert(&self, file: FileNumber, reader: Arc<T>) {
+    ///
+    /// Returns every reader displaced by this insert — a same-key
+    /// replacement and any capacity-driven LRU victims — so the caller
+    /// can release whatever accounting (memory reservations) it holds
+    /// against them.
+    pub fn insert(&self, file: FileNumber, reader: Arc<T>) -> Vec<Arc<T>> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.insert(file, (reader, tick));
+        let mut displaced = Vec::new();
+        if let Some((old, _)) = inner.map.insert(file, (reader, tick)) {
+            displaced.push(old);
+        }
         while inner.map.len() > self.capacity {
             let victim = inner
                 .map
@@ -355,14 +363,18 @@ impl<T> TableCache<T> {
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(k, _)| *k)
                 .expect("non-empty when over capacity");
-            inner.map.remove(&victim);
+            if let Some((old, _)) = inner.map.remove(&victim) {
+                displaced.push(old);
+            }
             inner.evictions += 1;
         }
+        displaced
     }
 
-    /// Removes a reader (when its file is deleted).
-    pub fn evict(&self, file: FileNumber) {
-        self.inner.lock().map.remove(&file);
+    /// Removes a reader (when its file is deleted), returning it so the
+    /// caller can release accounting held against it.
+    pub fn evict(&self, file: FileNumber) -> Option<Arc<T>> {
+        self.inner.lock().map.remove(&file).map(|(r, _)| r)
     }
 
     /// Number of open readers.
@@ -380,9 +392,14 @@ impl<T> TableCache<T> {
         self.inner.lock().evictions
     }
 
-    /// Drops all open readers.
-    pub fn clear(&self) {
-        self.inner.lock().map.clear();
+    /// Drops all open readers, returning them for accounting release.
+    pub fn clear(&self) -> Vec<Arc<T>> {
+        self.inner
+            .lock()
+            .map
+            .drain()
+            .map(|(_, (r, _))| r)
+            .collect()
     }
 }
 
@@ -480,14 +497,27 @@ mod tests {
     #[test]
     fn table_cache_bounds_open_files() {
         let tc: TableCache<String> = TableCache::new(16);
+        let mut displaced = 0usize;
         for i in 0..40 {
-            tc.insert(FileNumber(i), Arc::new(format!("reader-{i}")));
+            displaced += tc.insert(FileNumber(i), Arc::new(format!("reader-{i}"))).len();
         }
         assert_eq!(tc.len(), 16);
         assert!(tc.evictions() >= 24);
+        // Every insert past capacity hands its victim back to the caller.
+        assert_eq!(displaced as u64, tc.evictions());
         // Most recent files survive.
         assert!(tc.get(FileNumber(39)).is_some());
         assert!(tc.get(FileNumber(0)).is_none());
+    }
+
+    #[test]
+    fn table_cache_insert_returns_replaced_reader() {
+        let tc: TableCache<u32> = TableCache::new(-1);
+        assert!(tc.insert(FileNumber(1), Arc::new(7)).is_empty());
+        let displaced = tc.insert(FileNumber(1), Arc::new(8));
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(*displaced[0], 7);
+        assert_eq!(tc.evictions(), 0, "replacement is not a capacity eviction");
     }
 
     #[test]
@@ -504,8 +534,14 @@ mod tests {
     fn table_cache_evict_removes() {
         let tc: TableCache<u32> = TableCache::new(-1);
         tc.insert(FileNumber(1), Arc::new(1));
-        tc.evict(FileNumber(1));
+        assert_eq!(tc.evict(FileNumber(1)).map(|r| *r), Some(1));
+        assert!(tc.evict(FileNumber(1)).is_none());
         assert!(tc.get(FileNumber(1)).is_none());
         assert!(tc.is_empty());
+        let tc2: TableCache<u32> = TableCache::new(-1);
+        tc2.insert(FileNumber(2), Arc::new(2));
+        tc2.insert(FileNumber(3), Arc::new(3));
+        assert_eq!(tc2.clear().len(), 2);
+        assert!(tc2.is_empty());
     }
 }

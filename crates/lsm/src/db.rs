@@ -231,7 +231,7 @@ struct DbState {
 }
 
 /// Aggregate statistics exposed for prompts, reports, and tests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DbStats {
     /// Ticker counters.
     pub tickers: TickerSnapshot,
@@ -1539,6 +1539,19 @@ impl Db {
         }
     }
 
+    /// The write regime the controller would choose for a write issued
+    /// right now.
+    ///
+    /// This is a live query of the current pressure state, not the
+    /// regime recorded by the last write: a caller that pauses its own
+    /// writes (e.g. a server gating socket reads during a stall) still
+    /// sees the regime clear once background work catches up.
+    pub fn write_regime(&self) -> WriteRegime {
+        let inner = &*self.inner;
+        let state = inner.state.lock();
+        inner.controller.regime(&inner.pressure(&state))
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> DbStats {
         let inner = &*self.inner;
@@ -2577,7 +2590,7 @@ impl DbInner {
         for f in pending {
             if Arc::strong_count(&f) == 1 {
                 let _ = self.vfs.delete(&sst_file_name(f.number));
-                self.table_cache.evict(f.number);
+                self.release_table_readers(self.table_cache.evict(f.number));
                 self.stats.tickers().inc(Ticker::FilesDeleted);
             } else {
                 state.obsolete_files.push(f);
@@ -3001,7 +3014,7 @@ impl DbInner {
         for (_, f) in &inputs {
             f.set_being_compacted(false);
             let _ = self.vfs.delete(&sst_file_name(f.number));
-            self.table_cache.evict(f.number);
+            self.release_table_readers(self.table_cache.evict(f.number));
             self.stats.tickers().inc(Ticker::FilesDeleted);
         }
         state.running_compactions -= 1;
@@ -3033,7 +3046,7 @@ impl DbInner {
         for f in &files {
             f.set_being_compacted(false);
             let _ = self.vfs.delete(&sst_file_name(f.number));
-            self.table_cache.evict(f.number);
+            self.release_table_readers(self.table_cache.evict(f.number));
             self.stats.tickers().inc(Ticker::FilesDeleted);
         }
         state.running_compactions -= 1;
@@ -3055,11 +3068,18 @@ impl DbInner {
         }
     }
 
-    fn open_table(&self, file: &FileMetadata, cpu: &mut SimDuration) -> Result<Arc<TableReader>> {
+    fn open_table(
+        &self,
+        file: &FileMetadata,
+        ropts: &ReadOptions,
+        cpu: &mut SimDuration,
+    ) -> Result<Arc<TableReader>> {
         if let Some(r) = self.table_cache.get(file.number) {
             // With cache_index_and_filter_blocks the resident metadata
             // lives in the block cache and may have been evicted; charge
-            // a re-read when it is gone.
+            // a re-read when it is gone. The re-read is accounted like
+            // the cold open below: it is the same index+filter I/O, just
+            // triggered by block-cache pressure instead of a first open.
             if self.opts.cache_index_and_filter_blocks {
                 if let Some(cache) = &self.block_cache {
                     let key = BlockKey {
@@ -3068,13 +3088,18 @@ impl DbInner {
                     };
                     if cache.get(&key).is_none() {
                         let now = self.env.clock().now();
-                        let done = self.env.device().submit_read(
-                            now,
-                            r.resident_bytes().max(4096),
-                            AccessPattern::Random,
-                        );
+                        let bytes = r.resident_bytes().max(4096);
+                        let done =
+                            self.env.device().submit_read(now, bytes, AccessPattern::Random);
                         self.env.clock().advance_to(done);
-                        cache.insert(key, Arc::new(vec![0u8; r.resident_bytes() as usize]));
+                        self.stats.tickers().inc(Ticker::TableOpens);
+                        self.stats.tickers().add(Ticker::BytesRead, bytes);
+                        self.stats
+                            .record(HistogramKind::SstReadMicros, done.saturating_since(now));
+                        if ropts.fill_cache {
+                            cache
+                                .insert(key, Arc::new(vec![0u8; r.resident_bytes() as usize]));
+                        }
                     }
                 }
             }
@@ -3096,22 +3121,47 @@ impl DbInner {
             .record(HistogramKind::SstReadMicros, done.saturating_since(now));
         let reader = Arc::new(reader);
         if self.opts.cache_index_and_filter_blocks {
+            // `fill_cache` governs block-cache population for reads, and
+            // the resident metadata lives in the block cache here — so a
+            // no-fill read leaves it out (the next open re-reads it),
+            // matching what fetch_block does for data blocks.
             if let Some(cache) = &self.block_cache {
-                cache.insert(
-                    BlockKey {
-                        file: self.cache_file_id(file.number),
-                        offset: u64::MAX,
-                    },
-                    Arc::new(vec![0u8; reader.resident_bytes() as usize]),
-                );
+                if ropts.fill_cache {
+                    cache.insert(
+                        BlockKey {
+                            file: self.cache_file_id(file.number),
+                            offset: u64::MAX,
+                        },
+                        Arc::new(vec![0u8; reader.resident_bytes() as usize]),
+                    );
+                }
             }
         } else {
             self.env
                 .memory()
                 .reserve(MemoryUser::TableCache, reader.resident_bytes());
         }
-        self.table_cache.insert(file.number, Arc::clone(&reader));
+        let displaced = self.table_cache.insert(file.number, Arc::clone(&reader));
+        self.stats
+            .tickers()
+            .add(Ticker::TableCacheEvictions, displaced.len() as u64);
+        self.release_table_readers(displaced);
         Ok(reader)
+    }
+
+    /// Releases the `MemoryUser::TableCache` reservation held against
+    /// readers leaving the table cache (capacity eviction, compaction
+    /// deletion, or same-file replacement). Reservations are only taken
+    /// when metadata lives outside the block cache.
+    fn release_table_readers<I: IntoIterator<Item = Arc<TableReader>>>(&self, readers: I) {
+        if self.opts.cache_index_and_filter_blocks {
+            return;
+        }
+        for r in readers {
+            self.env
+                .memory()
+                .release(MemoryUser::TableCache, r.resident_bytes());
+        }
     }
 
     /// Fetches an uncompressed block through the cache, charging device
@@ -3207,7 +3257,7 @@ impl DbInner {
         ropts: &ReadOptions,
         cpu: &mut SimDuration,
     ) -> Result<Option<Option<Vec<u8>>>> {
-        let reader = self.open_table(file, cpu)?;
+        let reader = self.open_table(file, ropts, cpu)?;
         if reader.has_filter() {
             self.stats.tickers().inc(Ticker::BloomChecked);
             *cpu += self.cost.bloom_check_cpu;
@@ -3328,7 +3378,7 @@ impl FileCursor {
         ropts: ReadOptions,
     ) -> Result<FileCursor> {
         let mut cpu = SimDuration::ZERO;
-        let reader = inner.open_table(&file, &mut cpu)?;
+        let reader = inner.open_table(&file, &ropts, &mut cpu)?;
         let handles = reader.block_handles()?;
         inner.env.clock().advance(cpu);
         let mut c = FileCursor {

@@ -38,6 +38,7 @@ use crate::db::{Db, DbStats, ReadOptions, ScanResult, WriteOptions};
 use crate::error::{Error, Result};
 use crate::options::Options;
 use crate::runtime::{BgShared, JobBudget};
+use crate::write_controller::WriteRegime;
 use crate::types::ValueType;
 use crate::vfs::{MemVfs, NamespaceVfs, Vfs};
 
@@ -338,9 +339,29 @@ impl ShardedDb {
     ///
     /// # Errors
     ///
-    /// See [`Db::get_opt`].
+    /// See [`Db::get_opt`]. Additionally rejects an explicit
+    /// `snapshot_seq` when more than one shard exists (see
+    /// [`check_explicit_snapshot`](Self::check_explicit_snapshot)).
     pub fn get_opt(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_explicit_snapshot(ropts)?;
         self.shards[self.shard_for(key)].get_opt(ropts, key)
+    }
+
+    /// Rejects a caller-provided `snapshot_seq` on the sharded facade.
+    ///
+    /// Each shard runs its own sequence domain, so one number cannot
+    /// name a consistent point across shards: forwarding it verbatim
+    /// would pin wildly different moments in time per shard (or be out
+    /// of range entirely). With a single shard the domains coincide and
+    /// the option passes through.
+    fn check_explicit_snapshot(&self, ropts: &ReadOptions) -> Result<()> {
+        if self.shards.len() > 1 && ropts.snapshot_seq.is_some() {
+            return Err(Error::invalid_argument(
+                "explicit snapshot_seq is not meaningful across shards: \
+                 each shard has an independent sequence domain",
+            ));
+        }
+        Ok(())
     }
 
     /// Applies a batch with default write options. Atomic *per shard*:
@@ -388,8 +409,11 @@ impl ShardedDb {
     ///
     /// # Errors
     ///
-    /// See [`Db::scan_opt`].
+    /// See [`Db::scan_opt`]. Additionally rejects an explicit
+    /// `snapshot_seq` when more than one shard exists (see
+    /// [`check_explicit_snapshot`](Self::check_explicit_snapshot)).
     pub fn scan_opt(&self, ropts: &ReadOptions, start: &[u8], count: usize) -> Result<ScanResult> {
+        self.check_explicit_snapshot(ropts)?;
         let pins: Vec<u64> = self.shards.iter().map(Db::snapshot_seq).collect();
         let mut out = ScanResult::new();
         let first = self.shard_for(start);
@@ -426,6 +450,21 @@ impl ShardedDb {
             db.flush()?;
         }
         Ok(())
+    }
+
+    /// The most severe write regime across all shards: a server gating
+    /// intake on stalls must back off as soon as *any* shard is stopped,
+    /// because a batch may touch every shard.
+    pub fn write_regime(&self) -> WriteRegime {
+        let mut worst = WriteRegime::Normal;
+        for db in &self.shards {
+            match db.write_regime() {
+                WriteRegime::Stopped => return WriteRegime::Stopped,
+                WriteRegime::Delayed => worst = WriteRegime::Delayed,
+                WriteRegime::Normal => {}
+            }
+        }
+        worst
     }
 
     /// Compacts every shard fully.
@@ -562,6 +601,11 @@ pub trait KvEngine: Send + Sync {
     fn stats(&self) -> DbStats;
     /// Human-readable statistics report.
     fn stats_text(&self) -> String;
+    /// The regime the write controller would choose for a write issued
+    /// now. Engines without stall visibility report `Normal`.
+    fn write_regime(&self) -> WriteRegime {
+        WriteRegime::Normal
+    }
 }
 
 impl KvEngine for Db {
@@ -592,6 +636,9 @@ impl KvEngine for Db {
     fn stats_text(&self) -> String {
         Db::stats_text(self)
     }
+    fn write_regime(&self) -> WriteRegime {
+        Db::write_regime(self)
+    }
 }
 
 impl KvEngine for ShardedDb {
@@ -621,6 +668,9 @@ impl KvEngine for ShardedDb {
     }
     fn stats_text(&self) -> String {
         ShardedDb::stats_text(self)
+    }
+    fn write_regime(&self) -> WriteRegime {
+        ShardedDb::write_regime(self)
     }
 }
 
@@ -735,6 +785,48 @@ mod tests {
         assert_eq!(db.shard_for(&[0x40, 0x00]), 1);
         assert_eq!(db.shard_for(&[0x80, 0x00, 0x01]), 2);
         assert_eq!(db.shard_for(&[0xff, 0xff]), 3);
+    }
+
+    #[test]
+    fn explicit_snapshot_rejected_across_shards() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 4,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        db.put(b"abc", b"v").unwrap();
+        let ropts = ReadOptions {
+            snapshot_seq: Some(1),
+            ..ReadOptions::default()
+        };
+        let get_err = db.get_opt(&ropts, b"abc").unwrap_err();
+        assert_eq!(get_err.kind(), crate::ErrorKind::InvalidArgument);
+        let scan_err = db.scan_opt(&ropts, b"", 10).unwrap_err();
+        assert_eq!(scan_err.kind(), crate::ErrorKind::InvalidArgument);
+        // Implicit snapshots (scan pinning) still work.
+        assert_eq!(db.get_opt(&ReadOptions::default(), b"abc").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(db.scan(b"", 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explicit_snapshot_passes_through_single_shard() {
+        let db = ShardedDb::builder(Options {
+            num_shards: 1,
+            ..Options::default()
+        })
+        .env(&sim_env())
+        .open()
+        .unwrap();
+        db.put(b"k", b"v1").unwrap();
+        let pin = db.shards[0].snapshot_seq();
+        db.put(b"k", b"v2").unwrap();
+        let ropts = ReadOptions {
+            snapshot_seq: Some(pin),
+            ..ReadOptions::default()
+        };
+        assert_eq!(db.get_opt(&ropts, b"k").unwrap(), Some(b"v1".to_vec()));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Regression tests for read-path accounting on the table-open paths:
+//! the metadata re-read branch of `open_table` (counters, histogram,
+//! `fill_cache`) and reserve/release pairing of the
+//! `MemoryUser::TableCache` budget.
+
+use hw_sim::{HardwareEnv, MemoryUser};
+use lsm_kvs::options::Options;
+use lsm_kvs::{Db, ReadOptions, Ticker};
+
+fn sim_env() -> HardwareEnv {
+    HardwareEnv::builder().build_sim()
+}
+
+/// COUNT of the `sst.read.micros` histogram, parsed from the stats dump
+/// (the registry itself is not exported).
+fn sst_read_count(db: &Db) -> u64 {
+    let text = db.stats_text();
+    let line = text
+        .lines()
+        .find(|l| l.contains("sst.read.micros"))
+        .expect("stats dump carries sst.read.micros");
+    line.split("COUNT : ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("COUNT field parses")
+}
+
+/// With `cache_index_and_filter_blocks` on and a block cache too small
+/// to hold anything (oversized inserts bypass it), every get on a
+/// table-cached reader takes the metadata re-read branch. That branch
+/// must account like a cold open: `TableOpens`, `BytesRead`, and an
+/// `SstReadMicros` sample per re-read.
+#[test]
+fn metadata_reread_charges_counters_and_histogram() {
+    let opts = Options {
+        cache_index_and_filter_blocks: true,
+        block_cache_size: 1,
+        ..Options::default()
+    };
+    let db = Db::builder(opts).env(&sim_env()).open().unwrap();
+    db.put(b"k1", b"v1").unwrap();
+    db.flush().unwrap();
+    db.wait_background_idle().unwrap();
+
+    // Cold open.
+    db.get(b"k1").unwrap();
+    let t1 = db.stats().tickers;
+    let c1 = sst_read_count(&db);
+
+    // Reader is in the table cache but the metadata never made it into
+    // the (bypassing) block cache: this get re-reads index+filter and
+    // one data block.
+    db.get(b"k1").unwrap();
+    let t2 = db.stats().tickers;
+    let d = t2.delta_since(&t1);
+    assert_eq!(d.get(Ticker::TableOpens), 1, "re-read counts as a table open");
+    assert!(
+        d.get(Ticker::BytesRead) >= 4096,
+        "re-read charges at least the 4 KiB metadata floor, got {}",
+        d.get(Ticker::BytesRead)
+    );
+    assert_eq!(
+        sst_read_count(&db) - c1,
+        2,
+        "re-read and data block each record an SstReadMicros sample"
+    );
+}
+
+/// `fill_cache=false` must keep metadata out of the block cache on both
+/// the cold-open and re-read paths (matching data blocks), and
+/// `fill_cache=true` must re-populate it so later reads stop re-reading.
+#[test]
+fn metadata_reread_honors_fill_cache() {
+    let opts = Options {
+        cache_index_and_filter_blocks: true,
+        block_cache_size: 1 << 20,
+        ..Options::default()
+    };
+    let db = Db::builder(opts).env(&sim_env()).open().unwrap();
+    db.put(b"k1", b"v1").unwrap();
+    db.flush().unwrap();
+    db.wait_background_idle().unwrap();
+
+    let no_fill = ReadOptions {
+        fill_cache: false,
+        ..ReadOptions::default()
+    };
+
+    // Cold open without filling: nothing may enter the block cache.
+    db.get_opt(&no_fill, b"k1").unwrap();
+    assert_eq!(db.stats().block_cache.inserts, 0);
+
+    // The metadata is absent, so this is a re-read — still no inserts.
+    let t0 = db.stats().tickers;
+    db.get_opt(&no_fill, b"k1").unwrap();
+    let d = db.stats().tickers.delta_since(&t0);
+    assert_eq!(d.get(Ticker::TableOpens), 1, "no-fill read re-reads metadata");
+    assert_eq!(db.stats().block_cache.inserts, 0);
+
+    // A filling read re-reads once more and caches metadata + data.
+    let t1 = db.stats().tickers;
+    db.get(b"k1").unwrap();
+    let d = db.stats().tickers.delta_since(&t1);
+    assert_eq!(d.get(Ticker::TableOpens), 1);
+    assert_eq!(db.stats().block_cache.inserts, 2, "metadata and data block cached");
+
+    // Now everything is resident: no further opens, no further inserts.
+    let t2 = db.stats().tickers;
+    db.get(b"k1").unwrap();
+    let d = db.stats().tickers.delta_since(&t2);
+    assert_eq!(d.get(Ticker::TableOpens), 0);
+    assert_eq!(db.stats().block_cache.inserts, 2);
+}
+
+/// Table-cache reservations must be released when readers leave the
+/// cache — capacity eviction or file deletion — so the budget reflects
+/// resident readers instead of ratcheting up forever.
+#[test]
+fn table_cache_reservations_released_on_eviction_and_deletion() {
+    let env = sim_env();
+    let opts = Options {
+        // cache_index_and_filter_blocks stays off (default): metadata is
+        // charged to the MemoryUser::TableCache budget.
+        max_open_files: 16,
+        // Keep all flushed files in L0 so reads churn the table cache.
+        level0_file_num_compaction_trigger: 1000,
+        level0_slowdown_writes_trigger: 1000,
+        level0_stop_writes_trigger: 1000,
+        ..Options::default()
+    };
+    let db = Db::builder(opts).env(&env).open().unwrap();
+    let key = |i: u32| format!("key{i:04}").into_bytes();
+    for i in 0..24u32 {
+        db.put(&key(i), b"value").unwrap();
+        db.flush().unwrap();
+    }
+    db.wait_background_idle().unwrap();
+
+    let used = || env.memory().used_by(MemoryUser::TableCache);
+    for i in 0..24u32 {
+        db.get(&key(i)).unwrap();
+    }
+    let u1 = used();
+    assert!(u1 > 0, "open readers hold reservations");
+    let evictions = db.stats().tickers.get(Ticker::TableCacheEvictions);
+    assert!(evictions > 0, "24 files through a 16-reader cache must evict");
+
+    // The same deterministic read pass lands the cache in the same
+    // state; without eviction-time releases the budget would grow by
+    // every re-opened reader's resident bytes.
+    for i in 0..24u32 {
+        db.get(&key(i)).unwrap();
+    }
+    assert_eq!(used(), u1, "steady-state reads must not ratchet the budget");
+
+    // Manually compacting away every input file releases all
+    // reservations: the surviving outputs were never opened for reads.
+    // (compact_all would be a no-op here — the L0 trigger is parked at
+    // 1000 — so drive the manual range path instead.)
+    db.compact_range(b"", b"\xff\xff").unwrap();
+    db.wait_background_idle().unwrap();
+    assert_eq!(used(), 0, "deleting files releases their reservations");
+}

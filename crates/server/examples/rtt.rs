@@ -1,0 +1,75 @@
+//! Measures raw round-trip latency against an in-process server.
+use std::sync::Arc;
+use std::time::Instant;
+
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::{Db, MemVfs};
+use lsm_server::{serve, Conn, Request};
+
+fn main() {
+    let env = HardwareEnv::builder().cores(2).build_wall();
+    let db = Db::builder(Options::default())
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .open()
+        .unwrap();
+    let handle = serve(Arc::new(db), "127.0.0.1:0").unwrap();
+    let mut conn = Conn::connect(&handle.local_addr().to_string()).unwrap();
+    let n = 20000u32;
+    let start = Instant::now();
+    for _ in 0..n {
+        conn.call(&Request::Ping).unwrap();
+    }
+    let el = start.elapsed();
+    println!("ping RTT: {:.1} us/op over {n} ops", el.as_micros() as f64 / f64::from(n));
+    let start = Instant::now();
+    for i in 0..n {
+        conn.call(&Request::Get { key: format!("k{i}").into_bytes() }).unwrap();
+    }
+    let el = start.elapsed();
+    println!("get  RTT: {:.1} us/op over {n} ops", el.as_micros() as f64 / f64::from(n));
+
+    // Preload 100k real keys so gets exercise the full read path.
+    {
+        let mut conn2 = Conn::connect(&handle.local_addr().to_string()).unwrap();
+        for i in 0..100_000u64 {
+            let key = format!("{i:016}").into_bytes();
+            conn2
+                .call(&Request::Put { sync: false, key, value: vec![0xAB; 100] })
+                .unwrap();
+        }
+        conn2.call(&Request::Flush).unwrap();
+        conn2.call(&Request::WaitIdle).unwrap();
+    }
+    let addr = handle.local_addr().to_string();
+    let threads = 4;
+    let per = 25000u32;
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut conn = Conn::connect(&addr).unwrap();
+            let mut x: u64 = 0x1234_5678 + (t as u64) * 0x9E37;
+            for _ in 0..per {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                let k = x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 100_000;
+                let key = format!("{k:016}").into_bytes();
+                conn.call(&Request::Get { key }).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let el = start.elapsed();
+    let total = f64::from(per) * threads as f64;
+    println!(
+        "4-thread gets: {:.0} ops/s aggregate ({:.1} us/op)",
+        total / el.as_secs_f64(),
+        el.as_micros() as f64 / total
+    );
+}

@@ -1,0 +1,122 @@
+//! `kv_server` — serve an `lsm-kvs` database over TCP.
+//!
+//! ```text
+//! kv_server --db /path/to/db [--listen 127.0.0.1:7379] [--shards N]
+//!           [--cores N] [--mem-gib N] [--option name=value]...
+//!           [--options-file FILE] [--split-point KEY]...
+//! kv_server --shutdown host:port    # ask a running server to drain and exit
+//! ```
+//!
+//! The database opens in real-concurrency mode (wall clock, OS threads)
+//! on real files. The process runs until a Shutdown RPC arrives
+//! (`kv_server --shutdown`), then drains in-flight requests, closes the
+//! engine, and exits.
+
+use std::sync::Arc;
+
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::StdVfs;
+use lsm_kvs::{Db, KvEngine, ShardedDb};
+use lsm_server::{serve, RemoteDb};
+
+fn main() {
+    if let Err(e) = run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        eprintln!("kv_server: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut listen = "127.0.0.1:7379".to_string();
+    let mut db_dir: Option<String> = None;
+    let mut shards: i64 = 1;
+    let mut cores = 4usize;
+    let mut mem_gib = 8u64;
+    let mut opts = Options::default();
+    let mut options_file: Option<String> = None;
+    let mut split_points: Vec<Vec<u8>> = Vec::new();
+    let mut shutdown_addr: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {}", args[*i - 1]).into())
+        };
+        match args[i].as_str() {
+            "--listen" => listen = take(&mut i)?,
+            "--db" => db_dir = Some(take(&mut i)?),
+            "--shards" => shards = take(&mut i)?.parse()?,
+            "--cores" => cores = take(&mut i)?.parse()?,
+            "--mem-gib" => mem_gib = take(&mut i)?.parse()?,
+            "--option" => {
+                let kv = take(&mut i)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--option wants name=value, got {kv}"))?;
+                opts.set_by_name(k, v)?;
+            }
+            "--options-file" => options_file = Some(take(&mut i)?),
+            "--split-point" => split_points.push(take(&mut i)?.into_bytes()),
+            "--shutdown" => shutdown_addr = Some(take(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: kv_server --db DIR [--listen ADDR] [--shards N] [--cores N] \
+                     [--mem-gib N] [--option k=v]... [--options-file f] \
+                     [--split-point KEY]...\n       kv_server --shutdown ADDR"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+        i += 1;
+    }
+
+    if let Some(addr) = shutdown_addr {
+        let client = RemoteDb::connect(&addr)?;
+        client.shutdown_server()?;
+        eprintln!("kv_server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+
+    if let Some(path) = options_file {
+        let text = std::fs::read_to_string(path)?;
+        let outcome = lsm_kvs::options::ini::apply_ini(&mut opts, &text);
+        for (k, v, why) in &outcome.rejected {
+            eprintln!("options-file: ignored {k}={v}: {why}");
+        }
+    }
+
+    let dir = db_dir.ok_or("--db DIR is required (use --help)")?;
+    let env = HardwareEnv::builder()
+        .cores(cores)
+        .memory_gib(mem_gib)
+        .device(hw_sim::DeviceModel::nvme_ssd())
+        .build_wall();
+    let vfs = Arc::new(StdVfs::new(&dir)?);
+    let engine: Arc<dyn KvEngine> = if shards > 1 {
+        let mut sopts = opts;
+        sopts.num_shards = shards;
+        let mut builder = ShardedDb::builder(sopts).env(&env);
+        if !split_points.is_empty() {
+            builder = builder.split_points(split_points);
+        }
+        Arc::new(builder.vfs(vfs).open()?)
+    } else {
+        Arc::new(Db::builder(opts).env(&env).vfs(vfs).open()?)
+    };
+
+    let mut handle = serve(engine, &listen)?;
+    eprintln!(
+        "kv_server listening on {} (db={dir}, shards={shards}); \
+         stop with: kv_server --shutdown {}",
+        handle.local_addr(),
+        handle.local_addr()
+    );
+    handle.wait_for_shutdown_request();
+    eprintln!("kv_server: shutdown requested, draining...");
+    handle.shutdown();
+    eprintln!("kv_server: drained; {}", handle.stats().render().trim_start());
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! Client library: a single-connection [`Conn`] plus [`RemoteDb`], a
+//! pooled client that implements [`KvEngine`] so every in-process tool
+//! (`db_bench`, the tuning loop) runs unchanged against a live server.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use lsm_kvs::{DbStats, Error, KvEngine, Result, ScanResult, WriteBatch, WriteOptions};
+use parking_lot::Mutex;
+
+use crate::protocol::{frame, Request, Response, MAX_FRAME_LEN};
+
+fn io_err(e: io::Error) -> Error {
+    Error::io(format!("connection error: {e}")).retryable(true)
+}
+
+/// One blocking protocol connection.
+pub struct Conn {
+    stream: TcpStream,
+    /// Bytes read off the socket but not yet consumed as frames; lets
+    /// a response's header and payload (and pipelined responses that
+    /// arrived in the same segment) come out of one `read(2)`.
+    pending: Vec<u8>,
+}
+
+impl Conn {
+    /// Dials `addr` (e.g. `"127.0.0.1:7379"`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the dial.
+    pub fn connect(addr: &str) -> Result<Conn> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn { stream, pending: Vec::new() })
+    }
+
+    /// Sends one request frame without waiting for the response —
+    /// the pipelining primitive. Responses arrive in request order via
+    /// [`receive`](Self::receive).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        self.stream.write_all(&frame(&req.encode())).map_err(io_err)
+    }
+
+    /// Reads the next response frame; `req` gives the body shape.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, oversized frames, or undecodable responses.
+    pub fn receive(&mut self, req: &Request) -> Result<Response> {
+        loop {
+            if self.pending.len() >= 4 {
+                let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes"));
+                if len > MAX_FRAME_LEN {
+                    return Err(Error::corruption(format!("server sent {len}-byte frame")));
+                }
+                let total = 4 + len as usize;
+                if self.pending.len() >= total {
+                    let resp = Response::decode(req, &self.pending[4..total]);
+                    self.pending.drain(..total);
+                    return resp;
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io_err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    )))
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+
+    /// One request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`send`](Self::send) and [`receive`](Self::receive).
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        self.send(req)?;
+        self.receive(req)
+    }
+}
+
+/// A remote engine: implements [`KvEngine`] over a connection pool, so
+/// N benchmark threads multiplex onto N lazily dialed connections.
+///
+/// A connection that sees any error is dropped rather than returned to
+/// the pool — after a transport error its framing state is unknown.
+pub struct RemoteDb {
+    addr: String,
+    pool: Mutex<Vec<Conn>>,
+}
+
+impl RemoteDb {
+    /// Creates a client for `addr`; connections are dialed on demand.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast if the server is unreachable (one probe connection,
+    /// which is kept for reuse).
+    pub fn connect(addr: &str) -> Result<RemoteDb> {
+        let probe = Conn::connect(addr)?;
+        Ok(RemoteDb {
+            addr: addr.to_string(),
+            pool: Mutex::new(vec![probe]),
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn checkout(&self) -> Result<Conn> {
+        if let Some(c) = self.pool.lock().pop() {
+            return Ok(c);
+        }
+        Conn::connect(&self.addr)
+    }
+
+    fn call(&self, req: &Request) -> Result<Response> {
+        let mut conn = self.checkout()?;
+        let resp = conn.call(req)?;
+        // Only a connection that completed the round trip cleanly goes
+        // back to the pool.
+        self.pool.lock().push(conn);
+        if let Response::Err(e) = resp {
+            return Err(e);
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(&self, req: &Request) -> Result<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown_server(&self) -> Result<()> {
+        self.expect_ok(&Request::Shutdown)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&self) -> Result<()> {
+        self.expect_ok(&Request::Ping)
+    }
+
+    fn fetch_stats(&self) -> Result<(String, DbStats)> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { text, stats } => Ok((text, *stats)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+impl KvEngine for RemoteDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.expect_ok(&Request::Put {
+            sync: false,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.expect_ok(&Request::Delete { sync: false, key: key.to_vec() })
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.call(&Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        let ops = batch
+            .iter()
+            .map(|(ty, k, v)| {
+                (ty == lsm_kvs::ValueType::Deletion, k.to_vec(), v.to_vec())
+            })
+            .collect();
+        self.expect_ok(&Request::Batch { sync: wopts.sync, ops })
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
+        match self.call(&Request::Scan { start: start.to_vec(), count: count as u32 })? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.expect_ok(&Request::Flush)
+    }
+
+    fn wait_background_idle(&self) -> Result<()> {
+        self.expect_ok(&Request::WaitIdle)
+    }
+
+    fn stats(&self) -> DbStats {
+        self.fetch_stats().map(|(_, s)| s).unwrap_or_else(|_| empty_stats())
+    }
+
+    fn stats_text(&self) -> String {
+        self.fetch_stats()
+            .map(|(t, _)| t)
+            .unwrap_or_else(|e| format!("stats unavailable: {e}"))
+    }
+}
+
+/// A zeroed snapshot for when the Stats RPC itself fails; `stats()` has
+/// no error channel in the trait.
+fn empty_stats() -> DbStats {
+    DbStats {
+        tickers: lsm_kvs::TickerSnapshot { values: Default::default() },
+        levels: Vec::new(),
+        memtable_bytes: 0,
+        immutable_memtables: 0,
+        block_cache: lsm_kvs::CacheStats::default(),
+        block_cache_capacity: 0,
+        pending_compaction_bytes: 0,
+        running_background_jobs: 0,
+        last_sequence: 0,
+        background_retries: 0,
+        wal_rotations: 0,
+        manifest_resyncs: 0,
+        wal_sync_retries: 0,
+    }
+}

@@ -1,0 +1,33 @@
+//! # lsm-server — network serving layer for `lsm-kvs`
+//!
+//! Turns the engine into a service: `kv_server` listens on a TCP port
+//! and speaks a length-prefixed binary protocol
+//! (Get/Put/Delete/Batch/Scan/Flush/Stats and control ops), with
+//! thread-per-connection workers over the [`lsm_kvs::KvEngine`] trait —
+//! a plain [`lsm_kvs::Db`] or a sharded [`lsm_kvs::ShardedDb`] serve
+//! identically.
+//!
+//! Three properties the protocol and server guarantee:
+//!
+//! - **Pipelining**: each connection is processed strictly FIFO, so a
+//!   client may stream many request frames before reading responses.
+//! - **Backpressure**: while the engine's write controller reports a
+//!   stopped regime, workers stop reading their sockets and let TCP
+//!   flow control push the stall to clients.
+//! - **Durable acks**: a write is acknowledged only after the engine
+//!   commits it under the request's sync flag; graceful shutdown drains
+//!   in-flight requests before releasing the engine.
+//!
+//! The [`client::RemoteDb`] implements [`lsm_kvs::KvEngine`], so
+//! benchmarks and the tuning loop run unchanged against a live server
+//! (`db_bench --remote host:port`).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Conn, RemoteDb};
+pub use protocol::{Request, Response, MAX_FRAME_LEN};
+pub use server::{serve, ServerHandle, ServerStats};

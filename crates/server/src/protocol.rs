@@ -1,0 +1,594 @@
+//! Wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! A request payload starts with an opcode byte; a response payload
+//! starts with a status byte. Frames are independent, so a client may
+//! pipeline: write any number of request frames without waiting, then
+//! read the responses, which arrive in request order (the server
+//! processes each connection strictly FIFO).
+//!
+//! All integers are little-endian. Frames larger than [`MAX_FRAME_LEN`]
+//! are a protocol error; the server answers with an error frame and
+//! closes that connection (only that one — framing corruption never
+//! leaks across connections).
+
+use lsm_kvs::{
+    CacheStats, DbStats, Error, ErrorKind, Result, TickerSnapshot, WriteBatch, TICKER_NAMES,
+};
+
+/// Upper bound on one frame's payload. Large enough for a sizable
+/// write batch, small enough that a corrupt length prefix cannot make
+/// the server allocate gigabytes.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Request opcodes.
+pub mod op {
+    /// Point read.
+    pub const GET: u8 = 1;
+    /// Single-key write.
+    pub const PUT: u8 = 2;
+    /// Single-key delete.
+    pub const DELETE: u8 = 3;
+    /// Atomic (per shard) write batch.
+    pub const BATCH: u8 = 4;
+    /// Forward range scan.
+    pub const SCAN: u8 = 5;
+    /// Memtable flush.
+    pub const FLUSH: u8 = 6;
+    /// Statistics snapshot + human-readable dump.
+    pub const STATS: u8 = 7;
+    /// Wait until background work drains.
+    pub const WAIT_IDLE: u8 = 8;
+    /// Liveness check.
+    pub const PING: u8 = 9;
+    /// Ask the server to shut down gracefully.
+    pub const SHUTDOWN: u8 = 10;
+}
+
+/// Response status bytes.
+pub mod status {
+    /// Success; body is op-specific.
+    pub const OK: u8 = 0;
+    /// Successful get that found no value.
+    pub const NOT_FOUND: u8 = 1;
+    /// Failure; body is an encoded [`lsm_kvs::Error`].
+    pub const ERR: u8 = 2;
+}
+
+/// Write-request flag bits.
+pub const FLAG_SYNC: u8 = 1;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point read of one key.
+    Get {
+        /// Key to look up.
+        key: Vec<u8>,
+    },
+    /// Single-key write; `sync` asks for a durable ack.
+    Put {
+        /// Durable-ack flag.
+        sync: bool,
+        /// Key.
+        key: Vec<u8>,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Single-key delete; `sync` asks for a durable ack.
+    Delete {
+        /// Durable-ack flag.
+        sync: bool,
+        /// Key.
+        key: Vec<u8>,
+    },
+    /// Multi-op batch, atomic per shard.
+    Batch {
+        /// Durable-ack flag.
+        sync: bool,
+        /// `(is_delete, key, value)` triples; value empty for deletes.
+        ops: Vec<(bool, Vec<u8>, Vec<u8>)>,
+    },
+    /// Forward scan from `start` for up to `count` live entries.
+    Scan {
+        /// First key (inclusive).
+        start: Vec<u8>,
+        /// Maximum entries returned.
+        count: u32,
+    },
+    /// Flush memtables.
+    Flush,
+    /// Statistics snapshot.
+    Stats,
+    /// Drain background work.
+    WaitIdle,
+    /// Liveness check.
+    Ping,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Get hit.
+    Value(Vec<u8>),
+    /// Get miss.
+    NotFound,
+    /// Ack with no body (writes, flush, ping, ...).
+    Ok,
+    /// Scan results in key order.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Stats dump: human-readable text plus the binary snapshot.
+    Stats {
+        /// `stats_text()` output plus the server's own section.
+        text: String,
+        /// Decoded [`DbStats`].
+        stats: Box<DbStats>,
+    },
+    /// Error carried back from the engine (or the server's framing).
+    Err(Error),
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Cursor over a payload; every read is bounds-checked so truncated or
+/// malicious frames surface as decode errors, never panics.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::corruption("truncated frame"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        // A length field cannot promise more than the frame holds;
+        // checking first avoids attacker-controlled huge allocations.
+        if n > self.buf.len() - self.pos {
+            return Err(Error::corruption("length field exceeds frame"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::corruption("trailing bytes in frame"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes the request as a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Get { key } => {
+                out.push(op::GET);
+                put_bytes(&mut out, key);
+            }
+            Request::Put { sync, key, value } => {
+                out.push(op::PUT);
+                out.push(if *sync { FLAG_SYNC } else { 0 });
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            Request::Delete { sync, key } => {
+                out.push(op::DELETE);
+                out.push(if *sync { FLAG_SYNC } else { 0 });
+                put_bytes(&mut out, key);
+            }
+            Request::Batch { sync, ops } => {
+                out.push(op::BATCH);
+                out.push(if *sync { FLAG_SYNC } else { 0 });
+                put_u32(&mut out, ops.len() as u32);
+                for (is_delete, key, value) in ops {
+                    out.push(u8::from(*is_delete));
+                    put_bytes(&mut out, key);
+                    if !is_delete {
+                        put_bytes(&mut out, value);
+                    }
+                }
+            }
+            Request::Scan { start, count } => {
+                out.push(op::SCAN);
+                put_bytes(&mut out, start);
+                put_u32(&mut out, *count);
+            }
+            Request::Flush => out.push(op::FLUSH),
+            Request::Stats => out.push(op::STATS),
+            Request::WaitIdle => out.push(op::WAIT_IDLE),
+            Request::Ping => out.push(op::PING),
+            Request::Shutdown => out.push(op::SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Corruption`] on truncation, trailing bytes, or an
+    /// unknown opcode.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut c = Cur::new(payload);
+        let op = c.u8()?;
+        let req = match op {
+            op::GET => Request::Get { key: c.bytes()? },
+            op::PUT => {
+                let sync = c.u8()? & FLAG_SYNC != 0;
+                Request::Put { sync, key: c.bytes()?, value: c.bytes()? }
+            }
+            op::DELETE => {
+                let sync = c.u8()? & FLAG_SYNC != 0;
+                Request::Delete { sync, key: c.bytes()? }
+            }
+            op::BATCH => {
+                let sync = c.u8()? & FLAG_SYNC != 0;
+                let n = c.u32()? as usize;
+                let mut ops = Vec::new();
+                for _ in 0..n {
+                    let is_delete = match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(Error::corruption(format!("bad batch op {other}")))
+                        }
+                    };
+                    let key = c.bytes()?;
+                    let value = if is_delete { Vec::new() } else { c.bytes()? };
+                    ops.push((is_delete, key, value));
+                }
+                Request::Batch { sync, ops }
+            }
+            op::SCAN => Request::Scan { start: c.bytes()?, count: c.u32()? },
+            op::FLUSH => Request::Flush,
+            op::STATS => Request::Stats,
+            op::WAIT_IDLE => Request::WaitIdle,
+            op::PING => Request::Ping,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(Error::corruption(format!("unknown opcode {other}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn encode_error(out: &mut Vec<u8>, e: &Error) {
+    out.push(status::ERR);
+    out.push(error_kind_code(e.kind()));
+    out.push(u8::from(e.is_retryable()));
+    put_bytes(out, e.message().as_bytes());
+}
+
+fn error_kind_code(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Io => 0,
+        ErrorKind::Corruption => 1,
+        ErrorKind::InvalidArgument => 2,
+        ErrorKind::ShuttingDown => 3,
+        ErrorKind::NotSupported => 4,
+        ErrorKind::Busy => 5,
+        // The enum is non_exhaustive; map future kinds to Io so old
+        // clients still see *an* error rather than a decode failure.
+        _ => 0,
+    }
+}
+
+fn decode_error(c: &mut Cur<'_>) -> Result<Error> {
+    let kind = c.u8()?;
+    let retryable = c.u8()? != 0;
+    let msg = String::from_utf8_lossy(&c.bytes()?).into_owned();
+    let e = match kind {
+        0 => Error::io(msg),
+        1 => Error::corruption(msg),
+        2 => Error::invalid_argument(msg),
+        3 => Error::shutting_down(),
+        4 => Error::not_supported(msg),
+        5 => Error::busy(msg),
+        other => return Err(Error::corruption(format!("unknown error kind {other}"))),
+    };
+    Ok(e.retryable(retryable))
+}
+
+impl Response {
+    /// Encodes the response as a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Value(v) => {
+                out.push(status::OK);
+                put_bytes(&mut out, v);
+            }
+            Response::NotFound => out.push(status::NOT_FOUND),
+            Response::Ok => out.push(status::OK),
+            Response::Entries(entries) => {
+                out.push(status::OK);
+                put_u32(&mut out, entries.len() as u32);
+                for (k, v) in entries {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+            }
+            Response::Stats { text, stats } => {
+                out.push(status::OK);
+                put_bytes(&mut out, text.as_bytes());
+                encode_db_stats(&mut out, stats);
+            }
+            Response::Err(e) => encode_error(&mut out, e),
+        }
+        out
+    }
+
+    /// Decodes a frame payload; `req` disambiguates the body shape of
+    /// `OK` responses (the wire carries no opcode echo).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Corruption`] on truncation or malformed bodies.
+    pub fn decode(req: &Request, payload: &[u8]) -> Result<Response> {
+        let mut c = Cur::new(payload);
+        let resp = match c.u8()? {
+            status::NOT_FOUND => Response::NotFound,
+            status::ERR => Response::Err(decode_error(&mut c)?),
+            status::OK => match req {
+                Request::Get { .. } => Response::Value(c.bytes()?),
+                Request::Scan { .. } => {
+                    let n = c.u32()? as usize;
+                    let mut entries = Vec::new();
+                    for _ in 0..n {
+                        let k = c.bytes()?;
+                        let v = c.bytes()?;
+                        entries.push((k, v));
+                    }
+                    Response::Entries(entries)
+                }
+                Request::Stats => {
+                    let text = String::from_utf8_lossy(&c.bytes()?).into_owned();
+                    let stats = Box::new(decode_db_stats(&mut c)?);
+                    Response::Stats { text, stats }
+                }
+                _ => Response::Ok,
+            },
+            other => return Err(Error::corruption(format!("unknown status {other}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+/// Converts decoded batch ops back into a [`WriteBatch`].
+pub fn ops_to_batch(ops: &[(bool, Vec<u8>, Vec<u8>)]) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    for (is_delete, key, value) in ops {
+        if *is_delete {
+            batch.delete(key);
+        } else {
+            batch.put(key, value);
+        }
+    }
+    batch
+}
+
+// ---------------------------------------------------------------------------
+// DbStats over the wire
+// ---------------------------------------------------------------------------
+
+fn encode_db_stats(out: &mut Vec<u8>, s: &DbStats) {
+    put_u32(out, TICKER_NAMES.len() as u32);
+    for v in &s.tickers.values {
+        put_u64(out, *v);
+    }
+    put_u32(out, s.levels.len() as u32);
+    for (files, bytes) in &s.levels {
+        put_u64(out, *files as u64);
+        put_u64(out, *bytes);
+    }
+    put_u64(out, s.memtable_bytes);
+    put_u64(out, s.immutable_memtables as u64);
+    put_u64(out, s.block_cache.hits);
+    put_u64(out, s.block_cache.misses);
+    put_u64(out, s.block_cache.inserts);
+    put_u64(out, s.block_cache.evictions);
+    put_u64(out, s.block_cache_capacity);
+    put_u64(out, s.pending_compaction_bytes);
+    put_u64(out, s.running_background_jobs as u64);
+    put_u64(out, s.last_sequence);
+    put_u64(out, s.background_retries);
+    put_u64(out, s.wal_rotations);
+    put_u64(out, s.manifest_resyncs);
+    put_u64(out, s.wal_sync_retries);
+}
+
+fn decode_db_stats(c: &mut Cur<'_>) -> Result<DbStats> {
+    let n = c.u32()? as usize;
+    if n != TICKER_NAMES.len() {
+        return Err(Error::corruption(format!(
+            "peer has {n} tickers, this build has {}",
+            TICKER_NAMES.len()
+        )));
+    }
+    let mut tickers = TickerSnapshot { values: Default::default() };
+    for v in tickers.values.iter_mut() {
+        *v = c.u64()?;
+    }
+    let levels_n = c.u32()? as usize;
+    if levels_n > 64 {
+        return Err(Error::corruption("implausible level count"));
+    }
+    let mut levels = Vec::with_capacity(levels_n);
+    for _ in 0..levels_n {
+        let files = c.u64()? as usize;
+        let bytes = c.u64()?;
+        levels.push((files, bytes));
+    }
+    Ok(DbStats {
+        tickers,
+        levels,
+        memtable_bytes: c.u64()?,
+        immutable_memtables: c.u64()? as usize,
+        block_cache: CacheStats {
+            hits: c.u64()?,
+            misses: c.u64()?,
+            inserts: c.u64()?,
+            evictions: c.u64()?,
+        },
+        block_cache_capacity: c.u64()?,
+        pending_compaction_bytes: c.u64()?,
+        running_background_jobs: c.u64()? as usize,
+        last_sequence: c.u64()?,
+        background_retries: c.u64()?,
+        wal_rotations: c.u64()?,
+        manifest_resyncs: c.u64()?,
+        wal_sync_retries: c.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O over std streams
+// ---------------------------------------------------------------------------
+
+/// Prepends the length prefix to a payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Get { key: b"k".to_vec() });
+        roundtrip_req(Request::Put { sync: true, key: b"k".to_vec(), value: b"v".to_vec() });
+        roundtrip_req(Request::Delete { sync: false, key: b"k".to_vec() });
+        roundtrip_req(Request::Batch {
+            sync: true,
+            ops: vec![
+                (false, b"a".to_vec(), b"1".to_vec()),
+                (true, b"b".to_vec(), Vec::new()),
+            ],
+        });
+        roundtrip_req(Request::Scan { start: b"s".to_vec(), count: 10 });
+        roundtrip_req(Request::Flush);
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::WaitIdle);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let get = Request::Get { key: b"k".to_vec() };
+        for resp in [
+            Response::Value(b"v".to_vec()),
+            Response::NotFound,
+            Response::Err(Error::invalid_argument("nope")),
+        ] {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&get, &enc).unwrap(), resp);
+        }
+        let scan = Request::Scan { start: Vec::new(), count: 5 };
+        let entries = Response::Entries(vec![(b"a".to_vec(), b"1".to_vec())]);
+        assert_eq!(Response::decode(&scan, &entries.encode()).unwrap(), entries);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let full = Request::Put { sync: true, key: b"key".to_vec(), value: b"value".to_vec() }
+            .encode();
+        for cut in 0..full.len() {
+            let _ = Request::decode(&full[..cut]); // must not panic
+        }
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[200]).is_err(), "unknown opcode");
+        // Length field promising more than the frame holds.
+        let mut lying = vec![op::GET];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Request::Ping.encode();
+        enc.push(0);
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn error_roundtrip_preserves_kind_and_retryability() {
+        let e = Error::io("disk on fire").retryable(true);
+        let resp = Response::Err(e);
+        let dec = Response::decode(&Request::Flush, &resp.encode()).unwrap();
+        let Response::Err(d) = dec else { panic!("expected error") };
+        assert_eq!(d.kind(), ErrorKind::Io);
+        assert!(d.is_retryable());
+        assert!(d.message().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,416 @@
+//! The TCP server: thread-per-connection workers over a [`KvEngine`].
+//!
+//! Each connection is served strictly in order — read a frame, execute,
+//! write the response — so pipelined clients get responses in request
+//! order. Before reading the *next* request the worker consults the
+//! engine's live write regime: while the write controller reports
+//! `Stopped`, the worker simply stops reading its socket. TCP flow
+//! control then pushes the stall back to the client instead of letting
+//! requests pile up in server memory.
+//!
+//! Shutdown is graceful: the accept loop closes, every worker finishes
+//! (and acks) the request it is currently executing, partially received
+//! frames are drained and served, and only then are the threads joined
+//! and the engine released. Because a write is acked only after
+//! `write_opt` returns, nothing is ever acked that the engine has not
+//! committed under the request's durability flag.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lsm_kvs::{KvEngine, WriteOptions, WriteRegime};
+use parking_lot::Mutex;
+
+use crate::protocol::{frame, ops_to_batch, Request, Response, MAX_FRAME_LEN};
+
+/// How long a blocked socket read waits before re-checking the
+/// shutdown flag and the write regime.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Sleep slice while the engine reports a stopped write regime.
+const STALL_BACKOFF: Duration = Duration::from_millis(2);
+
+/// How long a connection trusts its cached write-regime reading before
+/// consulting the engine again.
+const REGIME_RECHECK: Duration = Duration::from_millis(1);
+
+/// How long a worker keeps waiting for the rest of a partially received
+/// frame once shutdown has been requested. Bounds drain time against a
+/// client that sent half a frame and went silent.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Per-server counters, rendered as a `** Server Stats **` section that
+/// the Stats RPC appends to the engine's `stats_text()` dump.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently being served.
+    pub connections_active: AtomicU64,
+    /// Requests executed, by outcome.
+    pub requests_ok: AtomicU64,
+    /// Requests that returned an error response.
+    pub requests_err: AtomicU64,
+    /// Protocol violations that closed a connection.
+    pub protocol_errors: AtomicU64,
+    /// Times a worker paused socket intake because the engine reported
+    /// a stopped write regime.
+    pub backpressure_stalls: AtomicU64,
+    /// Payload bytes received (excluding length prefixes).
+    pub bytes_received: AtomicU64,
+    /// Payload bytes sent (excluding length prefixes).
+    pub bytes_sent: AtomicU64,
+}
+
+impl ServerStats {
+    /// Renders the section appended to the engine dump.
+    pub fn render(&self) -> String {
+        format!(
+            "\n** Server Stats **\n\
+             connections_accepted: {}  connections_active: {}\n\
+             requests_ok: {}  requests_err: {}  protocol_errors: {}\n\
+             backpressure_stalls: {}  bytes_received: {}  bytes_sent: {}\n",
+            self.connections_accepted.load(Ordering::Relaxed),
+            self.connections_active.load(Ordering::Relaxed),
+            self.requests_ok.load(Ordering::Relaxed),
+            self.requests_err.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+            self.backpressure_stalls.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Shared {
+    engine: Arc<dyn KvEngine>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it (or calling [`shutdown`](Self::shutdown))
+/// drains and stops it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether shutdown has been requested (e.g. via the Shutdown RPC).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown request arrives (Shutdown RPC or another
+    /// thread calling [`shutdown`](Self::shutdown)).
+    pub fn wait_for_shutdown_request(&self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Server counters (live).
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins every
+    /// worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection; it may
+        // already have exited, so failures are fine.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving `engine`.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(engine: Arc<dyn KvEngine>, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_workers = Arc::clone(&workers);
+    let accept_thread = std::thread::Builder::new()
+        .name("kv-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let s = Arc::clone(&accept_shared);
+                s.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                s.stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                let worker = std::thread::Builder::new()
+                    .name("kv-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(&s, stream);
+                        s.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection worker");
+                accept_workers.lock().push(worker);
+            }
+        })?;
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Outcome of trying to read one frame.
+enum ReadFrame {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// Clean end: peer closed between frames, or shutdown arrived
+    /// before any byte of the next frame.
+    Closed,
+    /// The peer violated the protocol (described by the message).
+    Protocol(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+/// Buffered frame reader: one `read(2)` usually yields the whole frame
+/// (header and payload together), and pipelined requests that arrived
+/// in the same segment are parsed without touching the socket again.
+struct FrameReader {
+    pending: Vec<u8>,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader { pending: Vec::new() }
+    }
+
+    /// Parses a complete frame out of `pending`, if one is there.
+    fn take_buffered(&mut self) -> Result<Option<Vec<u8>>, ReadFrame> {
+        if self.pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(ReadFrame::Protocol(format!(
+                "frame of {len} bytes exceeds {MAX_FRAME_LEN}"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.pending.len() < total {
+            return Ok(None);
+        }
+        let payload = self.pending[4..total].to_vec();
+        self.pending.drain(..total);
+        Ok(Some(payload))
+    }
+
+    /// Reads the next frame. A clean EOF or a requested shutdown ends
+    /// the connection **only at a frame boundary**; once part of a
+    /// frame is buffered it is always completed (a shutdown still
+    /// drains and serves it, bounded by [`DRAIN_GRACE`]) or surfaced as
+    /// an error — stopping halfway through a frame must never
+    /// desynchronize the stream.
+    fn next(&mut self, stream: &mut TcpStream, shared: &Shared) -> ReadFrame {
+        let mut drain_waited = Duration::ZERO;
+        loop {
+            match self.take_buffered() {
+                Ok(Some(payload)) => return ReadFrame::Frame(payload),
+                Ok(None) => {}
+                Err(e) => return e,
+            }
+            let boundary = self.pending.is_empty();
+            if boundary && shared.shutdown.load(Ordering::SeqCst) {
+                return ReadFrame::Closed;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if boundary {
+                        return ReadFrame::Closed;
+                    }
+                    return ReadFrame::Protocol("peer closed mid-frame".into());
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // A quiet socket is fine while serving, but once
+                    // shutdown is requested a half-received frame only
+                    // gets DRAIN_GRACE to arrive — a silent client must
+                    // not pin the drain forever.
+                    if !boundary && shared.shutdown.load(Ordering::SeqCst) {
+                        drain_waited += POLL_INTERVAL;
+                        if drain_waited >= DRAIN_GRACE {
+                            return ReadFrame::Protocol(
+                                "connection idle mid-frame during shutdown".into(),
+                            );
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return ReadFrame::Io(e),
+            }
+        }
+    }
+}
+
+fn send_response(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> io::Result<()> {
+    let payload = resp.encode();
+    shared
+        .stats
+        .bytes_sent
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    stream.write_all(&frame(&payload))
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // A client that stops reading cannot pin this worker (and with it,
+    // shutdown) forever on a blocked response write.
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = FrameReader::new();
+    // The regime check takes the engine's state lock, so a cached value
+    // is reused for up to REGIME_RECHECK between frames instead of
+    // contending with the request path on every single request.
+    let mut regime = shared.engine.write_regime();
+    let mut regime_at = std::time::Instant::now();
+    loop {
+        // Backpressure: while the engine is in a stopped write regime,
+        // stop draining this socket. The kernel receive buffer fills,
+        // TCP advertises a zero window, and the stall propagates to the
+        // client instead of ballooning server memory. (Delayed regimes
+        // are handled by the engine's own write-path throttling.)
+        if regime == WriteRegime::Stopped || regime_at.elapsed() >= REGIME_RECHECK {
+            regime = shared.engine.write_regime();
+            regime_at = std::time::Instant::now();
+            if regime == WriteRegime::Stopped && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+                while shared.engine.write_regime() == WriteRegime::Stopped
+                    && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    std::thread::sleep(STALL_BACKOFF);
+                }
+                regime = WriteRegime::Normal;
+                regime_at = std::time::Instant::now();
+            }
+        }
+        let payload = match reader.next(&mut stream, shared) {
+            ReadFrame::Frame(p) => p,
+            ReadFrame::Closed => return Ok(()),
+            ReadFrame::Protocol(msg) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Err(lsm_kvs::Error::corruption(msg));
+                let _ = send_response(&mut stream, shared, &resp);
+                return Ok(());
+            }
+            ReadFrame::Io(e) => return Err(e),
+        };
+        shared
+            .stats
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Malformed payload: answer with the decode error and
+                // close — after garbage we cannot trust the framing.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = send_response(&mut stream, shared, &Response::Err(e));
+                return Ok(());
+            }
+        };
+        let is_shutdown_req = matches!(req, Request::Shutdown);
+        let resp = execute(shared, req);
+        match &resp {
+            Response::Err(_) => shared.stats.requests_err.fetch_add(1, Ordering::Relaxed),
+            _ => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
+        };
+        send_response(&mut stream, shared, &resp)?;
+        if is_shutdown_req {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+    }
+}
+
+fn execute(shared: &Shared, req: Request) -> Response {
+    let engine = shared.engine.as_ref();
+    match req {
+        Request::Get { key } => match engine.get(&key) {
+            Ok(Some(v)) => Response::Value(v),
+            Ok(None) => Response::NotFound,
+            Err(e) => Response::Err(e),
+        },
+        Request::Put { sync, key, value } => {
+            let mut batch = lsm_kvs::WriteBatch::new();
+            batch.put(&key, &value);
+            ack(engine.write_opt(&WriteOptions { sync }, batch))
+        }
+        Request::Delete { sync, key } => {
+            let mut batch = lsm_kvs::WriteBatch::new();
+            batch.delete(&key);
+            ack(engine.write_opt(&WriteOptions { sync }, batch))
+        }
+        Request::Batch { sync, ops } => {
+            ack(engine.write_opt(&WriteOptions { sync }, ops_to_batch(&ops)))
+        }
+        Request::Scan { start, count } => match engine.scan(&start, count as usize) {
+            Ok(entries) => Response::Entries(entries),
+            Err(e) => Response::Err(e),
+        },
+        Request::Flush => ack(engine.flush()),
+        Request::Stats => {
+            let mut text = engine.stats_text();
+            text.push_str(&shared.stats.render());
+            Response::Stats { text, stats: Box::new(engine.stats()) }
+        }
+        Request::WaitIdle => ack(engine.wait_background_idle()),
+        Request::Ping => Response::Ok,
+        Request::Shutdown => Response::Ok,
+    }
+}
+
+fn ack(r: lsm_kvs::Result<()>) -> Response {
+    match r {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Err(e),
+    }
+}

@@ -1,0 +1,372 @@
+//! End-to-end tests for the serving layer: request routing, pipelining,
+//! protocol robustness under malformed frames, backpressure, graceful
+//! shutdown under load, and the durability contract across a simulated
+//! power cut (fault-injection VFS).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::MemVfs;
+use lsm_kvs::{
+    Db, FaultInjectionVfs, KvEngine, ShardedDb, TearStyle, Vfs, WriteBatch, WriteOptions,
+};
+use lsm_server::protocol::{op, frame};
+use lsm_server::{serve, Conn, RemoteDb, Request, Response, ServerHandle};
+
+fn wall_env() -> HardwareEnv {
+    HardwareEnv::builder().cores(2).build_wall()
+}
+
+/// Starts a server over a fresh real-mode `Db` on `vfs`.
+fn start_db_server(opts: Options, vfs: Arc<dyn Vfs>) -> (ServerHandle, String) {
+    let env = wall_env();
+    let db = Db::builder(opts).env(&env).vfs(vfs).open().unwrap();
+    let handle = serve(Arc::new(db), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+/// Minimal deterministic RNG (xorshift64*), mirroring the crash harness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+#[test]
+fn end_to_end_ops_roundtrip() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = RemoteDb::connect(&addr).unwrap();
+
+    client.ping().unwrap();
+    client.put(b"alpha", b"1").unwrap();
+    client.put(b"beta", b"2").unwrap();
+    assert_eq!(client.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(client.get(b"missing").unwrap(), None);
+
+    client.delete(b"alpha").unwrap();
+    assert_eq!(client.get(b"alpha").unwrap(), None);
+
+    let mut batch = WriteBatch::new();
+    batch.put(b"gamma", b"3");
+    batch.put(b"delta", b"4");
+    batch.delete(b"beta");
+    client.write_opt(&WriteOptions::synced(), batch).unwrap();
+
+    let entries = client.scan(b"", 10).unwrap();
+    assert_eq!(
+        entries,
+        vec![(b"delta".to_vec(), b"4".to_vec()), (b"gamma".to_vec(), b"3".to_vec())]
+    );
+
+    client.flush().unwrap();
+    client.wait_background_idle().unwrap();
+
+    let text = client.stats_text();
+    assert!(text.contains("** DB Stats **"), "engine dump present:\n{text}");
+    assert!(text.contains("** Server Stats **"), "server section present:\n{text}");
+    let stats = client.stats();
+    assert!(stats.last_sequence > 0, "stats blob decoded: {stats:?}");
+    drop(handle);
+}
+
+#[test]
+fn sharded_engine_serves_identically() {
+    let env = wall_env();
+    let db = ShardedDb::builder(Options { num_shards: 4, ..Options::default() })
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .open()
+        .unwrap();
+    let handle = serve(Arc::new(db), "127.0.0.1:0").unwrap();
+    let client = RemoteDb::connect(&handle.local_addr().to_string()).unwrap();
+
+    // Keys spread over the default two-byte boundaries.
+    let keys: Vec<Vec<u8>> = (0..=255u8).step_by(16).map(|b| vec![b, b]).collect();
+    for k in &keys {
+        client.put(k, k).unwrap();
+    }
+    for k in &keys {
+        assert_eq!(client.get(k).unwrap(), Some(k.clone()));
+    }
+    let all = client.scan(b"", 1000).unwrap();
+    assert_eq!(all.len(), keys.len());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "cross-shard scan sorted");
+    drop(handle);
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    // Stream all requests before reading a single response.
+    let n = 64u32;
+    let mut reqs = Vec::new();
+    for i in 0..n {
+        reqs.push(Request::Put {
+            sync: false,
+            key: format!("p{i:03}").into_bytes(),
+            value: format!("v{i}").into_bytes(),
+        });
+    }
+    for i in 0..n {
+        reqs.push(Request::Get { key: format!("p{i:03}").into_bytes() });
+    }
+    for r in &reqs {
+        conn.send(r).unwrap();
+    }
+    for (i, r) in reqs.iter().enumerate() {
+        let resp = conn.receive(r).unwrap();
+        if i < n as usize {
+            assert_eq!(resp, Response::Ok, "put #{i}");
+        } else {
+            let expect = format!("v{}", i - n as usize).into_bytes();
+            assert_eq!(resp, Response::Value(expect), "get #{i} answered in order");
+        }
+    }
+    drop(handle);
+}
+
+#[test]
+fn malformed_frames_error_the_connection_only() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+
+    // A long-lived healthy connection that must survive every abuse
+    // below unscathed.
+    let healthy = RemoteDb::connect(&addr).unwrap();
+    healthy.put(b"canary", b"alive").unwrap();
+
+    // Deterministic garbage: random bytes, random lengths.
+    let mut rng = Rng(0xBAD_F00D);
+    for round in 0..40 {
+        let mut garbage = Vec::new();
+        for _ in 0..(1 + rng.next() % 64) {
+            garbage.push(rng.next() as u8);
+        }
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(&garbage).unwrap();
+        // Close the write half so a partial frame surfaces quickly.
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        // Whatever happens — error frame or plain close — must not take
+        // the server down. Drain until EOF.
+        let mut sink = Vec::new();
+        use std::io::Read;
+        let _ = s.read_to_end(&mut sink);
+        assert!(
+            healthy.get(b"canary").unwrap() == Some(b"alive".to_vec()),
+            "healthy connection corrupted after round {round}"
+        );
+    }
+
+    // Targeted abuses.
+    let cases: Vec<Vec<u8>> = vec![
+        // Length prefix far beyond MAX_FRAME_LEN.
+        u32::MAX.to_le_bytes().to_vec(),
+        // Valid length, unknown opcode.
+        frame(&[250u8]),
+        // Valid length, truncated PUT payload.
+        frame(&[op::PUT, 1, 9, 0, 0, 0]),
+        // Ping with trailing junk.
+        frame(&[op::PING, 7, 7]),
+        // Batch claiming more ops than the frame holds.
+        frame(&[op::BATCH, 0, 255, 255, 0, 0]),
+        // Empty payload.
+        frame(&[]),
+    ];
+    for (i, bytes) in cases.iter().enumerate() {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(bytes).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut sink = Vec::new();
+        use std::io::Read;
+        let _ = s.read_to_end(&mut sink);
+        assert_eq!(
+            healthy.get(b"canary").unwrap(),
+            Some(b"alive".to_vec()),
+            "healthy connection corrupted after case {i}"
+        );
+    }
+
+    // The server kept count of the abuse and kept serving.
+    assert!(handle.stats().protocol_errors.load(Ordering::Relaxed) > 0);
+    healthy.put(b"canary", b"still alive").unwrap();
+    assert_eq!(healthy.get(b"canary").unwrap(), Some(b"still alive".to_vec()));
+    drop(handle);
+}
+
+#[test]
+fn graceful_shutdown_under_load_loses_no_acked_writes() {
+    let vfs = Arc::new(MemVfs::new());
+    let (mut handle, addr) = start_db_server(Options::default(), vfs.clone());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for t in 0..3u32 {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let client = match RemoteDb::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return Vec::new(),
+            };
+            let mut acked: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = format!("t{t}-{i:06}").into_bytes();
+                let value = format!("val-{t}-{i}").into_bytes();
+                let mut batch = WriteBatch::new();
+                batch.put(&key, &value);
+                match client.write_opt(&WriteOptions::synced(), batch) {
+                    Ok(()) => acked.push((key, value)),
+                    // Shutdown reached this connection; whatever was
+                    // acked before stands, the rest never happened.
+                    Err(_) => break,
+                }
+                i += 1;
+            }
+            acked
+        }));
+    }
+
+    // Let the writers build up steam, then pull the plug mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    let mut acked: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for w in writers {
+        acked.extend(w.join().unwrap());
+    }
+    assert!(!acked.is_empty(), "load generator never got a write through");
+    drop(handle); // releases the engine; Db::Drop syncs and closes
+
+    // Reopen the same store: every acked (synced) write must be there.
+    let env = wall_env();
+    let db = Db::builder(Options::default()).env(&env).vfs(vfs).open().unwrap();
+    for (key, value) in &acked {
+        assert_eq!(
+            db.get(key).unwrap().as_deref(),
+            Some(value.as_slice()),
+            "acked write {:?} lost by shutdown",
+            String::from_utf8_lossy(key)
+        );
+    }
+}
+
+#[test]
+fn power_cut_mid_write_loses_no_acked_writes() {
+    let fault = FaultInjectionVfs::wrap(Arc::new(MemVfs::new()));
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(fault.clone()));
+
+    let mut writers = Vec::new();
+    for t in 0..2u32 {
+        let addr = addr.clone();
+        writers.push(std::thread::spawn(move || {
+            let client = match RemoteDb::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return Vec::new(),
+            };
+            let mut acked: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            for i in 0..50_000u64 {
+                let key = format!("t{t}-{i:06}").into_bytes();
+                let value = format!("val-{t}-{i}").into_bytes();
+                let mut batch = WriteBatch::new();
+                batch.put(&key, &value);
+                match client.write_opt(&WriteOptions::synced(), batch) {
+                    Ok(()) => acked.push((key, value)),
+                    Err(_) => break, // power is out; nothing further acks
+                }
+            }
+            acked
+        }));
+    }
+
+    // Cut power while requests are in flight. In-flight writes either
+    // acked before the cut (and were synced) or error out.
+    std::thread::sleep(Duration::from_millis(250));
+    fault.power_off();
+    let mut acked: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for w in writers {
+        acked.extend(w.join().unwrap());
+    }
+    assert!(!acked.is_empty(), "no write acked before the power cut");
+    drop(handle); // drains and releases the (now failing) engine
+
+    // Reboot dropping everything unsynced, reopen, verify the contract.
+    fault.reboot(TearStyle::DropUnsynced);
+    let env = wall_env();
+    let db = Db::builder(Options::default())
+        .env(&env)
+        .vfs(Arc::new(fault.clone()))
+        .open()
+        .unwrap();
+    for (key, value) in &acked {
+        assert_eq!(
+            db.get(key).unwrap().as_deref(),
+            Some(value.as_slice()),
+            "acked synced write {:?} lost across power cut",
+            String::from_utf8_lossy(key)
+        );
+    }
+}
+
+#[test]
+fn backpressure_pauses_intake_while_stopped() {
+    // Two L0 files with stop trigger 2 and auto compaction disabled:
+    // the engine reports Stopped until a manual compaction clears L0.
+    let opts = Options {
+        level0_slowdown_writes_trigger: 2,
+        level0_stop_writes_trigger: 2,
+        disable_auto_compactions: true,
+        ..Options::default()
+    };
+    let env = wall_env();
+    let db = Arc::new(
+        Db::builder(opts).env(&env).vfs(Arc::new(MemVfs::new())).open().unwrap(),
+    );
+    for (k, v) in [(b"a", b"1"), (b"b", b"2")] {
+        db.put(k, v).unwrap();
+        db.flush().unwrap();
+    }
+    db.wait_background_idle().unwrap();
+    assert_eq!(db.write_regime(), lsm_kvs::WriteRegime::Stopped);
+
+    let engine: Arc<dyn KvEngine> = Arc::clone(&db) as Arc<dyn KvEngine>;
+    let handle = serve(engine, "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = Arc::clone(&done);
+    let pinger = std::thread::spawn(move || {
+        let client = RemoteDb::connect(&addr).unwrap();
+        client.ping().unwrap();
+        done2.store(true, Ordering::SeqCst);
+    });
+
+    // While stopped, the worker must not even read the ping.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(!done.load(Ordering::SeqCst), "request served during a write stall");
+    assert!(handle.stats().backpressure_stalls.load(Ordering::Relaxed) >= 1);
+
+    // Clearing the stall releases the connection and the ping completes.
+    db.compact_range(b"", b"\xff\xff").unwrap();
+    assert_eq!(db.write_regime(), lsm_kvs::WriteRegime::Normal);
+    pinger.join().unwrap();
+    assert!(done.load(Ordering::SeqCst));
+    drop(handle);
+}

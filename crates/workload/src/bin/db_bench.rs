@@ -9,6 +9,10 @@
 //! With `--real-time`, the run leaves the simulator: the database opens
 //! on real files (a temporary directory) with a wall clock, `--threads N`
 //! OS threads share it, and latencies are measured with `Instant`.
+//!
+//! With `--remote host:port`, the benchmark drives a running `kv_server`
+//! instead of an in-process engine: each worker thread gets its own TCP
+//! connection and measured latencies include the network round trip.
 
 use std::sync::Arc;
 
@@ -17,6 +21,7 @@ use hw_sim::{DeviceModel, HardwareEnv};
 use lsm_kvs::options::Options;
 use lsm_kvs::vfs::{MemVfs, StdVfs, Vfs};
 use lsm_kvs::{Db, KvEngine, ShardedDb};
+use lsm_server::RemoteDb;
 
 /// Opens either a plain [`Db`] (`--shards 1`, the default) or a
 /// [`ShardedDb`] facade. The unsharded path stays exactly the plain
@@ -76,6 +81,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut crash_loop: Option<u64> = None;
     let mut stats_dump = false;
     let mut shards: i64 = 1;
+    let mut remote: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -112,12 +118,14 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--crash-loop" => crash_loop = Some(take(&mut i)?.parse()?),
             "--stats_dump" | "--stats-dump" => stats_dump = true,
             "--shards" => shards = take(&mut i)?.parse()?,
+            "--remote" => remote = Some(take(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
                      [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
                      [--stats_dump] [--shards N] \
                      [--real-time [--threads N] [--sync true|false] [--db dir]] \
+                     [--remote host:port [--threads N] [--sync true|false]] \
                      [--crash-loop N [--db dir]]"
                 );
                 return Ok(());
@@ -162,7 +170,27 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 spec.preload_keys = ((spec.preload_keys as f64 * ratio) as u64).max(1_000);
             }
         }
-        if real_time {
+        if let Some(addr) = &remote {
+            // Remote runs are always wall-clock: the server is a separate
+            // process, so there is no simulator to consult. Each worker
+            // thread checks a dedicated connection out of the client pool.
+            let n_threads = threads.unwrap_or(1);
+            if let Some(n) = threads {
+                spec.num_threads = n;
+            }
+            let sync = sync.unwrap_or(true);
+            let db = RemoteDb::connect(addr)?;
+            eprintln!(
+                "running {name} against {addr}: {n_threads} thread(s), sync={sync} ..."
+            );
+            let report = run_benchmark_real(&db, &spec, n_threads, sync)?;
+            println!("{}", report.to_db_bench_text());
+            if stats_dump {
+                // The Stats RPC returns the server's dump (engine stats
+                // plus the serving-layer section).
+                println!("{}", db.stats_text());
+            }
+        } else if real_time {
             let n_threads = threads.unwrap_or(1);
             if let Some(n) = threads {
                 spec.num_threads = n;
