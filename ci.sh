@@ -48,8 +48,14 @@ timeout 120 ./target/release/db_bench --benchmarks fillrandom --num 5000 \
     --remote 127.0.0.1:7491 --threads 4 > /tmp/ci-remote.txt
 timeout 120 ./target/release/db_bench --benchmarks readrandom --num 5000 \
     --remote 127.0.0.1:7491 --threads 4 --stats_dump >> /tmp/ci-remote.txt
+timeout 120 ./target/release/db_bench --benchmarks multireadrandom --batch-size 32 \
+    --num 5000 --remote 127.0.0.1:7491 --stats_dump >> /tmp/ci-remote.txt
 grep -q "^fillrandom" /tmp/ci-remote.txt
 grep -q "^readrandom" /tmp/ci-remote.txt
+grep -q "^multireadrandom" /tmp/ci-remote.txt
+# Batched reads must actually reach the engine's multi_get path: the
+# live server's stats dump reports a nonzero multiget batch count.
+grep -Eq "Cumulative reads: [0-9]+ gets, [1-9][0-9]* multiget batches" /tmp/ci-remote.txt
 # The Stats RPC must return a parseable dump: the engine's section plus
 # the server's own counters.
 grep -q "\*\* DB Stats \*\*" /tmp/ci-remote.txt
@@ -65,6 +71,9 @@ timeout 120 cargo test -q -p lsm-server
 
 echo "==> read-accounting gate: metadata re-reads and table-cache reservations"
 cargo test -q -p lsm-kvs --test read_accounting
+
+echo "==> multi_get gate: batched reads equivalent to looped gets (sim, sharded, real)"
+timeout 300 cargo test -q -p lsm-kvs --test multi_get
 
 echo "==> determinism gate: repro table5 must be byte-identical run-to-run"
 ./target/release/repro table5 > /tmp/ci-table5-a.txt

@@ -1220,6 +1220,148 @@ impl Db {
         }
     }
 
+    /// Reads the newest values for a batch of keys; results align 1:1
+    /// with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_opt(&ReadOptions::default(), keys)
+    }
+
+    /// Batched point reads under explicit [`ReadOptions`]. Returns one
+    /// result per key, in input order.
+    ///
+    /// All keys are read at one snapshot (the visible watermark when the
+    /// batch starts, or `ropts.snapshot_seq`), sharing a single
+    /// memtable/version pin. SST probing sorts the keys so each table is
+    /// opened once per batch and adjacent keys reuse the last
+    /// fetched-and-parsed data block — the batch-read analog of group
+    /// commit. Results are identical to calling [`get_opt`](Self::get_opt)
+    /// per key at the same `snapshot_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from table reads.
+    pub fn multi_get_opt(
+        &self,
+        ropts: &ReadOptions,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let inner = &*self.inner;
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let started = inner.env.clock().now();
+        let (mem, imm, version, snapshot) = {
+            let mut state = inner.state.lock();
+            if inner.runtime.is_none() {
+                let now = inner.env.clock().now();
+                inner.pump_events(&mut state, now)?;
+            }
+            (
+                Arc::clone(&state.mem),
+                state
+                    .imm
+                    .iter()
+                    .map(|e| Arc::clone(&e.mem))
+                    .collect::<Vec<_>>(),
+                Arc::clone(&state.version),
+                match &inner.runtime {
+                    Some(rt) => rt.visible_seq(),
+                    None => state.last_seq,
+                },
+            )
+        };
+        let snapshot = ropts.snapshot_seq.map_or(snapshot, |s| s.min(snapshot));
+
+        let mut cpu = inner.cost.get_base_cpu;
+        // `None` = unresolved; `Some(None)` = resolved miss/tombstone;
+        // `Some(Some(v))` = resolved hit.
+        let mut results: Vec<Option<Option<Vec<u8>>>> = vec![None; keys.len()];
+        let mut unresolved: Vec<usize> = Vec::new();
+        {
+            let mem = mem.read();
+            for (i, key) in keys.iter().enumerate() {
+                cpu += inner.cost.memtable_probe_cpu;
+                match mem.get(key, snapshot) {
+                    MemTableGet::Found(v) => {
+                        inner.stats.tickers().inc(Ticker::MemtableHit);
+                        results[i] = Some(Some(v));
+                        continue;
+                    }
+                    MemTableGet::Deleted => {
+                        inner.stats.tickers().inc(Ticker::MemtableHit);
+                        results[i] = Some(None);
+                        continue;
+                    }
+                    MemTableGet::NotFound => {}
+                }
+                for m in &imm {
+                    cpu += inner.cost.memtable_probe_cpu;
+                    match m.get(key, snapshot) {
+                        MemTableGet::Found(v) => {
+                            results[i] = Some(Some(v));
+                            break;
+                        }
+                        MemTableGet::Deleted => {
+                            results[i] = Some(None);
+                            break;
+                        }
+                        MemTableGet::NotFound => {}
+                    }
+                }
+                if results[i].is_none() {
+                    inner.stats.tickers().inc(Ticker::MemtableMiss);
+                    unresolved.push(i);
+                }
+            }
+        }
+        if !unresolved.is_empty() {
+            // Sorting makes each table's candidate keys a contiguous
+            // span, so every file (and its index/filter) is visited at
+            // most once per batch.
+            unresolved.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+            inner.search_tables_multi(
+                &version,
+                keys,
+                &mut unresolved,
+                snapshot,
+                ropts,
+                &mut cpu,
+                &mut results,
+            )?;
+        }
+
+        let mut factor = inner.foreground_contention(inner.env.clock().now());
+        if inner.opts.paranoid_checks {
+            factor *= 1.08;
+        }
+        if inner.opts.use_direct_reads {
+            factor *= 1.05;
+        }
+        factor *= inner.env.memory().penalty_factor();
+        inner.env.clock().advance(cpu.mul_f64(factor));
+
+        inner.stats.tickers().add(Ticker::KeysRead, keys.len() as u64);
+        inner.stats.tickers().add(Ticker::MultiGetKeys, keys.len() as u64);
+        inner.stats.tickers().inc(Ticker::MultiGetBatches);
+        let out: Vec<Option<Vec<u8>>> = results.into_iter().map(|r| r.flatten()).collect();
+        for v in &out {
+            inner.stats.tickers().inc(if v.is_some() {
+                Ticker::GetHit
+            } else {
+                Ticker::GetMiss
+            });
+        }
+        inner.stats.record(
+            HistogramKind::MultiGetMicros,
+            inner.env.clock().now().saturating_since(started),
+        );
+        Ok(out)
+    }
+
     /// Scans forward from `start`, returning up to `count` live entries.
     ///
     /// # Errors
@@ -1649,6 +1791,13 @@ impl Db {
             format_hms(stall),
             100.0 * stall_secs / uptime_secs,
         );
+        let _ = writeln!(
+            out,
+            "Cumulative reads: {} gets, {} multiget batches, {} multiget keys",
+            t.get(Ticker::KeysRead),
+            t.get(Ticker::MultiGetBatches),
+            t.get(Ticker::MultiGetKeys),
+        );
 
         // -- Compaction Stats -------------------------------------------
         let per_level = {
@@ -1690,6 +1839,7 @@ impl Db {
         let _ = writeln!(out, "\n** Level latency histograms (micros) **");
         for kind in [
             HistogramKind::DbGet,
+            HistogramKind::MultiGetMicros,
             HistogramKind::DbWrite,
             HistogramKind::FlushTime,
             HistogramKind::CompactionTime,
@@ -3174,6 +3324,28 @@ impl DbInner {
         ropts: &ReadOptions,
         cpu: &mut SimDuration,
     ) -> Result<Arc<Vec<u8>>> {
+        let now = self.env.clock().now();
+        let (data, done) = self.fetch_block_at(reader, file, handle, ropts, cpu, now)?;
+        self.env.clock().advance_to(done);
+        Ok(data)
+    }
+
+    /// [`fetch_block`](Self::fetch_block) without the clock advance: the
+    /// read is submitted at `submit_at` and the completion instant is
+    /// returned to the caller. The multi_get path submits a whole batch
+    /// of block reads from one instant — they overlap on the device's
+    /// channels (effective queue depth = batch size) — then advances the
+    /// clock once to the latest completion.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_block_at(
+        &self,
+        reader: &TableReader,
+        file: FileNumber,
+        handle: crate::sstable::table::BlockHandle,
+        ropts: &ReadOptions,
+        cpu: &mut SimDuration,
+        submit_at: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime)> {
         let key = BlockKey {
             file: self.cache_file_id(file),
             offset: handle.offset,
@@ -3182,20 +3354,18 @@ impl DbInner {
             if let Some(b) = cache.get(&key) {
                 self.stats.tickers().inc(Ticker::BlockCacheHit);
                 *cpu += self.cost.cache_hit_cpu;
-                return Ok(b);
+                return Ok((b, submit_at));
             }
             self.stats.tickers().inc(Ticker::BlockCacheMiss);
         }
         let fetch = reader.read_block_with(handle, ropts.verify_checksums)?;
-        let now = self.env.clock().now();
         let done = self
             .env
             .device()
-            .submit_read(now, fetch.io_bytes, AccessPattern::Random);
-        self.env.clock().advance_to(done);
+            .submit_read(submit_at, fetch.io_bytes, AccessPattern::Random);
         self.stats.tickers().add(Ticker::BytesRead, fetch.io_bytes);
         self.stats
-            .record(HistogramKind::SstReadMicros, done.saturating_since(now));
+            .record(HistogramKind::SstReadMicros, done.saturating_since(submit_at));
         if fetch.was_compressed {
             *cpu += decompress_cpu_cost(self.opts.compression, fetch.data.len());
         }
@@ -3205,7 +3375,7 @@ impl DbInner {
                 cache.insert(key, Arc::clone(&data));
             }
         }
-        Ok(data)
+        Ok((data, done))
     }
 
     fn search_tables(
@@ -3288,6 +3458,164 @@ impl DbInner {
             }
             None => Ok(None),
         }
+    }
+
+    /// Batched [`search_tables`](Self::search_tables): resolves the keys at
+    /// `unresolved` (indices into `keys`, sorted by key) against the SSTs,
+    /// opening each table at most once per batch. `results[i]` is written
+    /// exactly where a per-key `search_tables` would have returned `Some`.
+    #[allow(clippy::too_many_arguments)]
+    fn search_tables_multi(
+        &self,
+        version: &Version,
+        keys: &[Vec<u8>],
+        unresolved: &mut Vec<usize>,
+        snapshot: SequenceNumber,
+        ropts: &ReadOptions,
+        cpu: &mut SimDuration,
+        results: &mut [Option<Option<Vec<u8>>>],
+    ) -> Result<()> {
+        // L0: newest first, ranges may overlap. A key resolved by a newer
+        // file must not be probed in older ones, so resolved keys are
+        // dropped between files.
+        for f in version.files(0) {
+            if unresolved.is_empty() {
+                return Ok(());
+            }
+            let lo =
+                unresolved.partition_point(|&i| keys[i].as_slice() < f.smallest.user_key());
+            let hi =
+                unresolved.partition_point(|&i| keys[i].as_slice() <= f.largest.user_key());
+            if lo == hi {
+                continue;
+            }
+            self.probe_table_multi(f, keys, &unresolved[lo..hi], snapshot, ropts, cpu, results)?;
+            unresolved.retain(|&i| results[i].is_none());
+        }
+        // Deeper levels: at most one file per level can contain each key;
+        // sorted keys walk the sorted file list in tandem.
+        for level in 1..version.num_levels() {
+            if unresolved.is_empty() {
+                return Ok(());
+            }
+            let files = version.files(level);
+            if files.is_empty() {
+                continue;
+            }
+            let mut pos = 0;
+            while pos < unresolved.len() {
+                let key = keys[unresolved[pos]].as_slice();
+                let fidx = files.partition_point(|f| f.largest.user_key() < key);
+                if fidx >= files.len() {
+                    break; // remaining keys sort past the last file
+                }
+                let f = &files[fidx];
+                if key < f.smallest.user_key() {
+                    pos += 1; // in the gap before this file: deeper levels only
+                    continue;
+                }
+                let end = pos
+                    + unresolved[pos..]
+                        .partition_point(|&i| keys[i].as_slice() <= f.largest.user_key());
+                *cpu += SimDuration::from_nanos(60 * (end - pos) as u64); // range binary search
+                self.probe_table_multi(
+                    f,
+                    keys,
+                    &unresolved[pos..end],
+                    snapshot,
+                    ropts,
+                    cpu,
+                    results,
+                )?;
+                pos = end;
+            }
+            unresolved.retain(|&i| results[i].is_none());
+        }
+        Ok(())
+    }
+
+    /// Probes one table for a sorted run of candidate keys. The table (and
+    /// its index/filter metadata) is opened once; keys landing in the same
+    /// data block share one fetch-and-parse; and all block reads the run
+    /// needs are submitted to the device from the same instant, so they
+    /// overlap on its channels instead of paying the access latency
+    /// serially per key.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_table_multi(
+        &self,
+        file: &FileMetadata,
+        keys: &[Vec<u8>],
+        candidates: &[usize],
+        snapshot: SequenceNumber,
+        ropts: &ReadOptions,
+        cpu: &mut SimDuration,
+        results: &mut [Option<Option<Vec<u8>>>],
+    ) -> Result<()> {
+        let reader = self.open_table(file, ropts, cpu)?;
+        // Plan: bloom-screen and index-seek every candidate, collecting
+        // (candidate, handle) pairs. Sorted keys give non-decreasing
+        // block offsets, so shared blocks are consecutive in the plan.
+        let mut plan: Vec<(usize, crate::sstable::table::BlockHandle)> = Vec::new();
+        for &i in candidates {
+            if results[i].is_some() {
+                continue;
+            }
+            let user_key = keys[i].as_slice();
+            if reader.has_filter() {
+                self.stats.tickers().inc(Ticker::BloomChecked);
+                *cpu += self.cost.bloom_check_cpu;
+                if !reader.may_contain(user_key) {
+                    self.stats.tickers().inc(Ticker::BloomUseful);
+                    continue;
+                }
+            }
+            let target = crate::types::lookup_key(user_key, snapshot);
+            *cpu += self.cost.index_seek_cpu;
+            if let Some(handle) = reader.find_block(target.encoded())? {
+                plan.push((i, handle));
+            }
+        }
+        if plan.is_empty() {
+            return Ok(());
+        }
+        // Fetch: one submission batch for every distinct block in the
+        // plan; advance the clock once, to the latest completion.
+        let submit_at = self.env.clock().now();
+        let mut latest = submit_at;
+        let mut blocks: Vec<(u64, Block)> = Vec::with_capacity(plan.len());
+        for &(_, handle) in &plan {
+            if matches!(blocks.last(), Some((off, _)) if *off == handle.offset) {
+                continue;
+            }
+            let (data, done) =
+                self.fetch_block_at(&reader, file.number, handle, ropts, cpu, submit_at)?;
+            latest = latest.max(done);
+            blocks.push((handle.offset, Block::parse(data.as_ref().clone())?));
+        }
+        self.env.clock().advance_to(latest);
+        // Resolve: seek each candidate in its (already parsed) block.
+        let mut b = 0;
+        for &(i, handle) in &plan {
+            while blocks[b].0 != handle.offset {
+                b += 1;
+            }
+            let block = &blocks[b].1;
+            let target = crate::types::lookup_key(keys[i].as_slice(), snapshot);
+            *cpu += SimDuration::from_nanos(300); // block binary search + scan
+            if let Some((k, v)) = block.seek(target.encoded())? {
+                let found_user = &k[..k.len() - 8];
+                if found_user != keys[i].as_slice() {
+                    continue;
+                }
+                let tag = u64::from_le_bytes(k[k.len() - 8..].try_into().expect("tag"));
+                results[i] = Some(if (tag & 0xff) == ValueType::Deletion as u64 {
+                    None
+                } else {
+                    Some(v)
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -347,6 +347,55 @@ impl ShardedDb {
         self.shards[self.shard_for(key)].get_opt(ropts, key)
     }
 
+    /// Reads the newest values for a batch of keys; results align 1:1
+    /// with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::multi_get`].
+    pub fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_opt(&ReadOptions::default(), keys)
+    }
+
+    /// Batched point reads: the batch is split by key range and each
+    /// shard's sub-batch runs as one [`Db::multi_get_opt`], so per-shard
+    /// snapshot/pin sharing and per-table amortization are preserved.
+    /// Shards execute sequentially (deterministic, single-caller-thread);
+    /// each shard's sub-batch reads at that shard's own snapshot, exactly
+    /// like looped `get_opt` calls would.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::multi_get_opt`]. Additionally rejects an explicit
+    /// `snapshot_seq` when more than one shard exists (see
+    /// [`check_explicit_snapshot`](Self::check_explicit_snapshot)).
+    pub fn multi_get_opt(
+        &self,
+        ropts: &ReadOptions,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        self.check_explicit_snapshot(ropts)?;
+        if self.shards.len() == 1 {
+            return self.shards[0].multi_get_opt(ropts, keys);
+        }
+        let mut per: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            per[self.shard_for(key)].push(i);
+        }
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        for (shard, idxs) in per.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let sub: Vec<Vec<u8>> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            let vals = self.shards[shard].multi_get_opt(ropts, &sub)?;
+            for (slot, val) in idxs.into_iter().zip(vals) {
+                out[slot] = val;
+            }
+        }
+        Ok(out)
+    }
+
     /// Rejects a caller-provided `snapshot_seq` on the sharded facade.
     ///
     /// Each shard runs its own sequence domain, so one number cannot
@@ -573,6 +622,16 @@ pub trait KvEngine: Send + Sync {
     ///
     /// See [`Db::get`].
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Reads the newest values for a batch of keys; results align 1:1
+    /// with `keys`. The default implementation loops [`get`](Self::get);
+    /// engines with a native batched path override it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::multi_get`].
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
     /// Applies a batch (atomic per shard for sharded engines).
     ///
     /// # Errors
@@ -618,6 +677,9 @@ impl KvEngine for Db {
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         Db::get(self, key)
     }
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        Db::multi_get(self, keys)
+    }
     fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         Db::write_opt(self, wopts, batch)
     }
@@ -650,6 +712,9 @@ impl KvEngine for ShardedDb {
     }
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         ShardedDb::get(self, key)
+    }
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        ShardedDb::multi_get(self, keys)
     }
     fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         ShardedDb::write_opt(self, wopts, batch)

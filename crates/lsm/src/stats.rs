@@ -42,9 +42,11 @@ pub enum Ticker {
     GroupCommitBatches,
     WalWrites,
     CompactionKeyDropped,
+    MultiGetKeys,
+    MultiGetBatches,
 }
 
-const NUM_TICKERS: usize = 29;
+const NUM_TICKERS: usize = 31;
 
 fn ticker_index(t: Ticker) -> usize {
     t as usize
@@ -81,6 +83,8 @@ pub const TICKER_NAMES: [&str; NUM_TICKERS] = [
     "group_commit_batches",
     "wal_writes",
     "compaction_key_dropped",
+    "multiget_keys",
+    "multiget_batches",
 ];
 
 /// Thread-safe ticker array.
@@ -350,10 +354,11 @@ pub enum HistogramKind {
     FlushTime,
     CompactionTime,
     SstReadMicros,
+    MultiGetMicros,
 }
 
 /// Number of engine histogram families.
-pub const NUM_HISTOGRAMS: usize = 5;
+pub const NUM_HISTOGRAMS: usize = 6;
 
 /// Histogram names, index-aligned with [`HistogramKind`] discriminants,
 /// following the `rocksdb.*` statistics naming convention.
@@ -363,6 +368,7 @@ pub const HISTOGRAM_NAMES: [&str; NUM_HISTOGRAMS] = [
     "flush.time.micros",
     "compaction.time.micros",
     "sst.read.micros",
+    "db.multiget.micros",
 ];
 
 /// Per-level I/O accumulated by flush and compaction jobs.

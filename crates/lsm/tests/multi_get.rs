@@ -1,0 +1,233 @@
+//! Equivalence tests: `multi_get_opt` must return byte-identical results
+//! to looping `get_opt` at the same `snapshot_seq`, with entries spread
+//! across memtable, immutable memtables, and SSTs, in both sim and real
+//! modes, and across shard boundaries on `ShardedDb`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::MemVfs;
+use lsm_kvs::{Db, ReadOptions, ShardedDb};
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 1..16)
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..80)
+}
+
+/// Small buffers force flush/compaction churn so written entries spread
+/// across the memtable, immutable memtables, and several SST levels.
+fn churn_opts() -> Options {
+    Options {
+        write_buffer_size: 8 << 10,
+        target_file_size_base: 8 << 10,
+        max_bytes_for_level_base: 32 << 10,
+        ..Options::default()
+    }
+}
+
+/// The lookup set mixes never-written keys (misses) with a sample of
+/// written keys (hits and tombstoned deletes), plus duplicates.
+fn build_lookups(
+    random: &[Vec<u8>],
+    ops: &[(Vec<u8>, Vec<u8>, bool)],
+) -> Vec<Vec<u8>> {
+    let mut lookups: Vec<Vec<u8>> = random.to_vec();
+    for (i, (k, _, _)) in ops.iter().enumerate() {
+        if i % 3 == 0 {
+            lookups.push(k.clone());
+        }
+    }
+    if let Some(first) = lookups.first().cloned() {
+        lookups.push(first); // at least one duplicate key per batch
+    }
+    lookups
+}
+
+/// Asserts batched == looped at one pinned snapshot, and checks hits
+/// against the model where the model is authoritative (snapshot is the
+/// latest sequence, so fully-applied ops must be visible).
+fn assert_equivalent(db: &Db, lookups: &[Vec<u8>], model: &BTreeMap<Vec<u8>, Option<Vec<u8>>>) {
+    let snap = db.snapshot_seq();
+    let ropts = ReadOptions {
+        snapshot_seq: Some(snap),
+        ..ReadOptions::default()
+    };
+    let batched = db.multi_get_opt(&ropts, lookups).unwrap();
+    assert_eq!(batched.len(), lookups.len());
+    for (key, got) in lookups.iter().zip(&batched) {
+        let looped = db.get_opt(&ropts, key).unwrap();
+        assert_eq!(got, &looped, "key {key:?} at snapshot {snap}");
+        let expected = model.get(key).cloned().flatten();
+        assert_eq!(got, &expected, "key {key:?} vs model");
+    }
+}
+
+fn apply_ops(db: &Db, ops: &[(Vec<u8>, Vec<u8>, bool)]) -> BTreeMap<Vec<u8>, Option<Vec<u8>>> {
+    let mut model = BTreeMap::new();
+    for (i, (k, v, is_delete)) in ops.iter().enumerate() {
+        if *is_delete {
+            db.delete(k).unwrap();
+            model.insert(k.clone(), None);
+        } else {
+            db.put(k, v).unwrap();
+            model.insert(k.clone(), Some(v.clone()));
+        }
+        // A mid-stream flush parks entries in SSTs while later ops stay
+        // in the (im)mutable memtables.
+        if i == ops.len() / 2 {
+            db.flush().unwrap();
+        }
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn multi_get_matches_looped_get_sim(
+        ops in vec((key_strategy(), value_strategy(), any::<bool>()), 1..150),
+        random_lookups in vec(key_strategy(), 1..40),
+    ) {
+        let env = hw_sim::HardwareEnv::builder().build_sim();
+        let db = Db::builder(churn_opts())
+            .env(&env)
+            .vfs(Arc::new(MemVfs::new()))
+            .open()
+            .unwrap();
+        let model = apply_ops(&db, &ops);
+        let lookups = build_lookups(&random_lookups, &ops);
+        assert_equivalent(&db, &lookups, &model);
+    }
+
+    #[test]
+    fn multi_get_matches_looped_get_sharded_sim(
+        ops in vec((key_strategy(), value_strategy(), any::<bool>()), 1..150),
+        random_lookups in vec(key_strategy(), 1..40),
+    ) {
+        let env = hw_sim::HardwareEnv::builder().build_sim();
+        let mut opts = churn_opts();
+        opts.num_shards = 4;
+        // Single-byte boundaries put the proptest's arbitrary keys on
+        // both sides of every shard edge.
+        let db = ShardedDb::builder(opts)
+            .env(&env)
+            .vfs(Arc::new(MemVfs::new()))
+            .split_points(vec![vec![0x40], vec![0x80], vec![0xc0]])
+            .open()
+            .unwrap();
+        let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (k, v, is_delete) in &ops {
+            if *is_delete {
+                db.delete(k).unwrap();
+                model.insert(k.clone(), None);
+            } else {
+                db.put(k, v).unwrap();
+                model.insert(k.clone(), Some(v.clone()));
+            }
+        }
+        db.flush().unwrap();
+        db.wait_background_idle().unwrap();
+        // No explicit snapshot across shards (independent sequence
+        // domains); the store is quiesced instead, so looped gets and the
+        // batch observe the same state.
+        let lookups = build_lookups(&random_lookups, &ops);
+        let batched = db.multi_get(&lookups).unwrap();
+        prop_assert_eq!(batched.len(), lookups.len());
+        for (key, got) in lookups.iter().zip(&batched) {
+            let looped = db.get(key).unwrap();
+            prop_assert_eq!(got, &looped, "key {:?}", key);
+            let expected = model.get(key).cloned().flatten();
+            prop_assert_eq!(got, &expected, "key {:?} vs model", key);
+        }
+    }
+}
+
+/// Real (wall-clock) mode: background threads flush and compact while
+/// the comparison runs, but both sides read at one pinned snapshot.
+#[test]
+fn multi_get_matches_looped_get_real_mode() {
+    let env = hw_sim::HardwareEnv::builder().build_wall();
+    let db = Db::builder(churn_opts())
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .open()
+        .unwrap();
+    let mut ops = Vec::new();
+    for i in 0..800u32 {
+        let k = format!("key-{:05}", i * 7 % 1000).into_bytes();
+        let v = format!("value-{i}").into_bytes();
+        let is_delete = i % 11 == 0;
+        ops.push((k, v, is_delete));
+    }
+    let model = apply_ops(&db, &ops);
+    let mut lookups = build_lookups(&[b"missing-low".to_vec(), b"zz-missing-high".to_vec()], &ops);
+    lookups.push(b"key-00000".to_vec());
+    assert_equivalent(&db, &lookups, &model);
+    db.wait_background_idle().unwrap();
+    // After full quiesce (everything in SSTs) the answers must not move.
+    assert_equivalent(&db, &lookups, &model);
+}
+
+/// An explicit snapshot older than some writes: both paths must clamp
+/// and filter identically, hiding the newer versions.
+#[test]
+fn multi_get_honors_old_snapshot() {
+    let env = hw_sim::HardwareEnv::builder().build_sim();
+    let db = Db::builder(churn_opts())
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .open()
+        .unwrap();
+    for i in 0..200u32 {
+        db.put(format!("k{i:04}").as_bytes(), b"old").unwrap();
+    }
+    db.flush().unwrap();
+    let snap = db.snapshot_seq();
+    for i in 0..200u32 {
+        if i % 2 == 0 {
+            db.put(format!("k{i:04}").as_bytes(), b"new").unwrap();
+        } else {
+            db.delete(format!("k{i:04}").as_bytes()).unwrap();
+        }
+    }
+    let ropts = ReadOptions {
+        snapshot_seq: Some(snap),
+        ..ReadOptions::default()
+    };
+    let lookups: Vec<Vec<u8>> =
+        (0..200u32).map(|i| format!("k{i:04}").into_bytes()).collect();
+    let batched = db.multi_get_opt(&ropts, &lookups).unwrap();
+    for (key, got) in lookups.iter().zip(&batched) {
+        assert_eq!(got.as_deref(), Some(&b"old"[..]), "key {key:?}");
+        assert_eq!(got, &db.get_opt(&ropts, key).unwrap());
+    }
+}
+
+/// Ticker accounting: one batch bumps MultiGetBatches once and
+/// MultiGetKeys by the batch size, and the histogram records a sample.
+#[test]
+fn multi_get_ticks_stats() {
+    let env = hw_sim::HardwareEnv::builder().build_sim();
+    let db = Db::builder(Options::default())
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .open()
+        .unwrap();
+    db.put(b"a", b"1").unwrap();
+    db.put(b"b", b"2").unwrap();
+    let _ = db.multi_get(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]).unwrap();
+    let t = db.stats().tickers;
+    assert_eq!(t.get(lsm_kvs::Ticker::MultiGetBatches), 1);
+    assert_eq!(t.get(lsm_kvs::Ticker::MultiGetKeys), 3);
+    let text = db.stats_text();
+    assert!(text.contains("rocksdb.db.multiget.micros"), "{text}");
+    assert!(text.contains("Cumulative reads:"), "{text}");
+}

@@ -1,14 +1,46 @@
 //! Client library: a single-connection [`Conn`] plus [`RemoteDb`], a
 //! pooled client that implements [`KvEngine`] so every in-process tool
 //! (`db_bench`, the tuning loop) runs unchanged against a live server.
+//!
+//! [`RemoteDb`] adds two read-path optimizations over plain pooling:
+//!
+//! - **Auto-batching**: concurrent [`get`](KvEngine::get) calls
+//!   coalesce into one `MultiGet` frame — the read-side analog of group
+//!   commit. One caller becomes the leader, drains the queue (up to
+//!   [`MULTIGET_MAX`] keys), runs the round trip, and distributes
+//!   results; followers just wait. A lone caller degenerates to a plain
+//!   `Get` round trip.
+//! - **Streamed scans**: scan replies arrive as bounded chunks; the
+//!   client concatenates them transparently.
+//!
+//! Connection hygiene: a connection that sees a transport error, a
+//! response that fails to decode, or a corruption-kind error response
+//! (the server closes the connection after protocol violations) is
+//! **poisoned** — dropped instead of returned to the pool — so one
+//! failed request can never desynchronize the next request's framing.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lsm_kvs::{DbStats, Error, KvEngine, Result, ScanResult, WriteBatch, WriteOptions};
-use parking_lot::Mutex;
+use lsm_kvs::{
+    DbStats, Error, ErrorKind, KvEngine, Result, ScanResult, WriteBatch, WriteOptions,
+};
+use parking_lot::{Condvar, Mutex};
 
 use crate::protocol::{frame, Request, Response, MAX_FRAME_LEN};
+
+/// Most keys one auto-batched MultiGet frame carries; callers beyond
+/// this wait for the next round.
+pub const MULTIGET_MAX: usize = 128;
+
+/// Point reads allowed to run as their own Get round trip at once.
+/// Like group commit, coalescing only pays once the wire is busy: below
+/// this many in-flight gets a caller uses its own pooled connection
+/// (parallel RPCs, lowest latency); at or above it, callers queue for
+/// the auto-batcher and ride a shared MultiGet frame.
+pub const DIRECT_GET_LIMIT: usize = 4;
 
 fn io_err(e: io::Error) -> Error {
     Error::io(format!("connection error: {e}")).retryable(true)
@@ -89,16 +121,52 @@ impl Conn {
         self.send(req)?;
         self.receive(req)
     }
+
+    /// A full scan: sends the request and concatenates streamed chunks
+    /// until the final one (`more == false`).
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures, or the server's error response.
+    pub fn scan(&mut self, start: &[u8], count: usize) -> Result<ScanResult> {
+        let req = Request::Scan { start: start.to_vec(), count: count as u32 };
+        self.send(&req)?;
+        let mut out = ScanResult::new();
+        loop {
+            match self.receive(&req)? {
+                Response::Entries { entries, more } => {
+                    out.extend(entries);
+                    if !more {
+                        return Ok(out);
+                    }
+                }
+                Response::Err(e) => return Err(e),
+                other => {
+                    return Err(Error::corruption(format!("unexpected response {other:?}")))
+                }
+            }
+        }
+    }
+}
+
+/// Pending auto-batched gets. Mirrors the engine's group-commit queue:
+/// the first caller in becomes leader and runs rounds until the queue
+/// empties; everyone else waits for its id to resolve.
+struct BatchState {
+    queue: VecDeque<(u64, Vec<u8>)>,
+    results: HashMap<u64, Result<Option<Vec<u8>>>>,
+    leader_active: bool,
+    next_id: u64,
 }
 
 /// A remote engine: implements [`KvEngine`] over a connection pool, so
 /// N benchmark threads multiplex onto N lazily dialed connections.
-///
-/// A connection that sees any error is dropped rather than returned to
-/// the pool — after a transport error its framing state is unknown.
 pub struct RemoteDb {
     addr: String,
     pool: Mutex<Vec<Conn>>,
+    batch: Mutex<BatchState>,
+    batch_cv: Condvar,
+    direct_gets: AtomicUsize,
 }
 
 impl RemoteDb {
@@ -113,6 +181,14 @@ impl RemoteDb {
         Ok(RemoteDb {
             addr: addr.to_string(),
             pool: Mutex::new(vec![probe]),
+            batch: Mutex::new(BatchState {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                leader_active: false,
+                next_id: 0,
+            }),
+            batch_cv: Condvar::new(),
+            direct_gets: AtomicUsize::new(0),
         })
     }
 
@@ -128,15 +204,32 @@ impl RemoteDb {
         Conn::connect(&self.addr)
     }
 
+    /// Returns a connection to the pool — only for connections whose
+    /// round trip completed cleanly at a frame boundary.
+    fn checkin(&self, conn: Conn) {
+        self.pool.lock().push(conn);
+    }
+
+    /// Whether a connection that delivered this error response can be
+    /// reused. The server closes the connection after protocol errors
+    /// (which it reports as corruption), so such a connection would hand
+    /// its EOF to the *next* unrelated request if pooled.
+    fn poisons(e: &Error) -> bool {
+        e.kind() == ErrorKind::Corruption
+    }
+
     fn call(&self, req: &Request) -> Result<Response> {
         let mut conn = self.checkout()?;
+        // A transport or decode failure drops `conn` right here (early
+        // return): its stream may hold half a frame.
         let resp = conn.call(req)?;
-        // Only a connection that completed the round trip cleanly goes
-        // back to the pool.
-        self.pool.lock().push(conn);
         if let Response::Err(e) = resp {
+            if !Self::poisons(&e) {
+                self.checkin(conn);
+            }
             return Err(e);
         }
+        self.checkin(conn);
         Ok(resp)
     }
 
@@ -171,6 +264,88 @@ impl RemoteDb {
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// One explicit batched read RPC (no auto-batching involved).
+    fn multi_get_rpc(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        let req = Request::MultiGet { keys: keys.to_vec() };
+        match self.call(&req)? {
+            Response::Values(values) => {
+                if values.len() != keys.len() {
+                    return Err(Error::corruption(format!(
+                        "MultiGet answered {} values for {} keys",
+                        values.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(values)
+            }
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// One auto-batch round for the leader: a lone key degenerates to a
+    /// plain Get frame, several keys ride one MultiGet frame.
+    fn batch_round(&self, round: &[(u64, Vec<u8>)]) -> Result<Vec<Option<Vec<u8>>>> {
+        if round.len() == 1 {
+            let key = &round[0].1;
+            return match self.call(&Request::Get { key: key.clone() })? {
+                Response::Value(v) => Ok(vec![Some(v)]),
+                Response::NotFound => Ok(vec![None]),
+                other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+            };
+        }
+        let keys: Vec<Vec<u8>> = round.iter().map(|(_, k)| k.clone()).collect();
+        self.multi_get_rpc(&keys)
+    }
+
+    /// Point read with auto-batching: concurrent callers coalesce into
+    /// MultiGet frames, exactly like concurrent writers share a commit.
+    fn batched_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut st = self.batch.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back((id, key.to_vec()));
+        if st.leader_active {
+            // Follower: the leader runs rounds until the queue (which
+            // includes this entry) is empty, so the result will come.
+            loop {
+                if let Some(r) = st.results.remove(&id) {
+                    return r;
+                }
+                self.batch_cv.wait(&mut st);
+            }
+        }
+        st.leader_active = true;
+        let mut mine: Option<Result<Option<Vec<u8>>>> = None;
+        while !st.queue.is_empty() {
+            let n = st.queue.len().min(MULTIGET_MAX);
+            let round: Vec<(u64, Vec<u8>)> = st.queue.drain(..n).collect();
+            drop(st);
+            let outcome = self.batch_round(&round);
+            st = self.batch.lock();
+            match outcome {
+                Ok(values) => {
+                    for ((rid, _), v) in round.iter().zip(values) {
+                        st.results.insert(*rid, Ok(v));
+                    }
+                }
+                Err(e) => {
+                    for (rid, _) in &round {
+                        st.results.insert(*rid, Err(e.clone()));
+                    }
+                }
+            }
+            if mine.is_none() {
+                mine = st.results.remove(&id);
+            }
+            self.batch_cv.notify_all();
+        }
+        st.leader_active = false;
+        drop(st);
+        mine.unwrap_or_else(|| {
+            Err(Error::corruption("auto-batch round lost a result"))
+        })
+    }
 }
 
 impl KvEngine for RemoteDb {
@@ -187,11 +362,35 @@ impl KvEngine for RemoteDb {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        match self.call(&Request::Get { key: key.to_vec() })? {
-            Response::Value(v) => Ok(Some(v)),
-            Response::NotFound => Ok(None),
-            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        // While few gets are in flight a round trip on the caller's own
+        // pooled connection beats queueing behind a shared batch; once
+        // DIRECT_GET_LIMIT callers occupy the wire, the rest coalesce.
+        let claimed = self
+            .direct_gets
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < DIRECT_GET_LIMIT).then(|| n + 1)
+            })
+            .is_ok();
+        if !claimed {
+            return self.batched_get(key);
         }
+        let res = match self.call(&Request::Get { key: key.to_vec() }) {
+            Ok(Response::Value(v)) => Ok(Some(v)),
+            Ok(Response::NotFound) => Ok(None),
+            Ok(other) => {
+                Err(Error::corruption(format!("unexpected response {other:?}")))
+            }
+            Err(e) => Err(e),
+        };
+        self.direct_gets.fetch_sub(1, Ordering::AcqRel);
+        res
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.multi_get_rpc(keys)
     }
 
     fn write_opt(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
@@ -205,10 +404,12 @@ impl KvEngine for RemoteDb {
     }
 
     fn scan(&self, start: &[u8], count: usize) -> Result<ScanResult> {
-        match self.call(&Request::Scan { start: start.to_vec(), count: count as u32 })? {
-            Response::Entries(entries) => Ok(entries),
-            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
-        }
+        let mut conn = self.checkout()?;
+        // Any failure mid-stream leaves unread chunks on the wire, so
+        // the connection only survives a fully drained scan.
+        let out = conn.scan(start, count)?;
+        self.checkin(conn);
+        Ok(out)
     }
 
     fn flush(&self) -> Result<()> {

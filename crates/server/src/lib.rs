@@ -2,18 +2,26 @@
 //!
 //! Turns the engine into a service: `kv_server` listens on a TCP port
 //! and speaks a length-prefixed binary protocol
-//! (Get/Put/Delete/Batch/Scan/Flush/Stats and control ops), with
-//! thread-per-connection workers over the [`lsm_kvs::KvEngine`] trait —
-//! a plain [`lsm_kvs::Db`] or a sharded [`lsm_kvs::ShardedDb`] serve
-//! identically.
+//! (Get/MultiGet/Put/Delete/Batch/Scan/Flush/Stats and control ops),
+//! served by an event-driven readiness loop (a small pool of poller
+//! threads over non-blocking sockets) on top of the
+//! [`lsm_kvs::KvEngine`] trait — a plain [`lsm_kvs::Db`] or a sharded
+//! [`lsm_kvs::ShardedDb`] serve identically.
 //!
-//! Three properties the protocol and server guarantee:
+//! Properties the protocol and server guarantee:
 //!
 //! - **Pipelining**: each connection is processed strictly FIFO, so a
 //!   client may stream many request frames before reading responses.
+//! - **Batched reads**: `MultiGet` carries many keys in one frame and
+//!   runs them through the engine's amortized `multi_get`; the client
+//!   also coalesces concurrent single-key gets into MultiGet frames
+//!   (the read-side analog of group commit).
+//! - **Streaming scans**: scan replies arrive as bounded chunks
+//!   ([`protocol::SCAN_CHUNK_BUDGET`]), produced only as the socket
+//!   drains, so a huge range scan cannot balloon server memory.
 //! - **Backpressure**: while the engine's write controller reports a
-//!   stopped regime, workers stop reading their sockets and let TCP
-//!   flow control push the stall to clients.
+//!   stopped regime, the loops stop reading sockets and let TCP flow
+//!   control push the stall to clients.
 //! - **Durable acks**: a write is acknowledged only after the engine
 //!   commits it under the request's sync flag; graceful shutdown drains
 //!   in-flight requests before releasing the engine.
@@ -25,9 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Conn, RemoteDb};
-pub use protocol::{Request, Response, MAX_FRAME_LEN};
+pub use protocol::{Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET};
 pub use server::{serve, ServerHandle, ServerStats};

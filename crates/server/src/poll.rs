@@ -1,0 +1,410 @@
+//! Readiness polling for the event-driven server loop.
+//!
+//! [`Poller`] wraps epoll on Linux and poll(2) elsewhere on unix,
+//! declared directly against the C library (std already links it), so
+//! the server needs no external crates. Both backends are
+//! level-triggered: an event keeps firing while the condition holds,
+//! which lets the loop process a bounded amount per wakeup without
+//! losing readiness.
+//!
+//! A registered fd carries a caller-chosen `token`; [`Poller::wake`]
+//! makes `wait` return with the reserved [`WAKE_TOKEN`] so other
+//! threads (the accept loop, shutdown) can interrupt a blocked wait.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Token reported for [`Poller::wake`] wakeups; never use it when
+/// registering a connection.
+pub const WAKE_TOKEN: usize = usize::MAX;
+
+/// One readiness event from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token given at registration (or [`WAKE_TOKEN`]).
+    pub token: usize,
+    /// Readable, or peer closed/error (a read will not block).
+    pub readable: bool,
+    /// Writable without blocking.
+    pub writable: bool,
+}
+
+fn last_os_error_guard(ret: i32) -> io::Result<()> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{last_os_error_guard, PollEvent, RawFd, WAKE_TOKEN};
+    use std::io;
+    use std::time::Duration;
+
+    // x86_64 Linux declares epoll_event packed; without it the kernel
+    // writes data at the wrong offset.
+    #[repr(C, packed)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+    const EFD_CLOEXEC: i32 = 0x80000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// epoll-backed poller: one epoll fd plus an eventfd for wakeups.
+    pub struct Poller {
+        epfd: RawFd,
+        wakefd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance and its wakeup eventfd.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            last_os_error_guard(epfd)?;
+            let wakefd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+            if wakefd < 0 {
+                let e = io::Error::last_os_error();
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let p = Poller { epfd, wakefd };
+            p.ctl(EPOLL_CTL_ADD, wakefd, WAKE_TOKEN, true, false)?;
+            Ok(p)
+        }
+
+        fn ctl(
+            &self,
+            op: i32,
+            fd: RawFd,
+            token: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut events = EPOLLERR | EPOLLHUP;
+            if readable {
+                events |= EPOLLIN;
+            }
+            if writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent { events, data: token as u64 };
+            last_os_error_guard(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })
+        }
+
+        /// Starts watching `fd` under `token` for the given interests.
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// Blocks until an event or `timeout` (`None` = forever) and
+        /// fills `out` with readiness events.
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut buf: [EpollEvent; 64] = unsafe { std::mem::zeroed() };
+            let timeout_ms = timeout.map_or(-1i32, |d| {
+                i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0)
+            });
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), 64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in buf.iter().take(n as usize) {
+                let bits = ev.events;
+                let token = ev.data as usize;
+                if token == WAKE_TOKEN {
+                    // Drain the eventfd counter so the next wait blocks.
+                    let mut b = [0u8; 8];
+                    unsafe { read(self.wakefd, b.as_mut_ptr(), 8) };
+                    out.push(PollEvent { token, readable: false, writable: false });
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        /// Interrupts a concurrent [`wait`](Self::wait); it reports a
+        /// [`WAKE_TOKEN`] event.
+        pub fn wake(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            last_os_error_guard(unsafe { write(self.wakefd, one.as_ptr(), 8) } as i32)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wakefd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{last_os_error_guard, PollEvent, RawFd, WAKE_TOKEN};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::io;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// poll(2)-backed fallback: interest set kept in user space, wakeups
+    /// via a self-pipe.
+    pub struct Poller {
+        interests: Mutex<HashMap<RawFd, (usize, bool, bool)>>,
+        pipe_r: RawFd,
+        pipe_w: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the poller and its self-pipe wakeup channel.
+        pub fn new() -> io::Result<Poller> {
+            let mut fds = [0i32; 2];
+            last_os_error_guard(unsafe { pipe(fds.as_mut_ptr()) })?;
+            // O_NONBLOCK on both ends; F_SETFL = 4, O_NONBLOCK = 0x4
+            // on the BSDs this fallback targets.
+            unsafe {
+                fcntl(fds[0], 4, 0x4);
+                fcntl(fds[1], 4, 0x4);
+            }
+            Ok(Poller {
+                interests: Mutex::new(HashMap::new()),
+                pipe_r: fds[0],
+                pipe_w: fds[1],
+            })
+        }
+
+        /// Starts watching `fd` under `token` for the given interests.
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.interests.lock().insert(fd, (token, readable, writable));
+            Ok(())
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.register(fd, token, readable, writable)
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.interests.lock().remove(&fd);
+            Ok(())
+        }
+
+        /// Blocks until an event or `timeout` (`None` = forever) and
+        /// fills `out` with readiness events.
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> =
+                vec![PollFd { fd: self.pipe_r, events: POLLIN, revents: 0 }];
+            let mut tokens = vec![WAKE_TOKEN];
+            for (&fd, &(token, readable, writable)) in self.interests.lock().iter() {
+                let mut events = 0i16;
+                if readable {
+                    events |= POLLIN;
+                }
+                if writable {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd { fd, events, revents: 0 });
+                tokens.push(token);
+            }
+            let timeout_ms = timeout.map_or(-1i32, |d| {
+                i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0)
+            });
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pf, &token) in fds.iter().zip(&tokens) {
+                if pf.revents == 0 {
+                    continue;
+                }
+                if token == WAKE_TOKEN {
+                    let mut b = [0u8; 64];
+                    while unsafe { read(self.pipe_r, b.as_mut_ptr(), 64) } > 0 {}
+                    out.push(PollEvent { token, readable: false, writable: false });
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: pf.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: pf.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        /// Interrupts a concurrent [`wait`](Self::wait); it reports a
+        /// [`WAKE_TOKEN`] event.
+        pub fn wake(&self) -> io::Result<()> {
+            last_os_error_guard(unsafe { write(self.pipe_w, [1u8].as_ptr(), 1) } as i32)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_r);
+                close(self.pipe_w);
+            }
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_interrupts_wait() {
+        let p = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            p2.wake().unwrap();
+        });
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn readable_socket_reports_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        p.register(server_side.as_raw_fd(), 7, true, false).unwrap();
+
+        client.write_all(b"hello").unwrap();
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            p.wait(&mut events, Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no readable event");
+        }
+        let mut buf = [0u8; 8];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut buf).unwrap(), 5);
+        p.deregister(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_fires_on_writable_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server_side, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        p.register(client.as_raw_fd(), 3, false, true).unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+    }
+}

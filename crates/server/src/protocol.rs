@@ -50,7 +50,15 @@ pub mod op {
     pub const PING: u8 = 9;
     /// Ask the server to shut down gracefully.
     pub const SHUTDOWN: u8 = 10;
+    /// Batched point read.
+    pub const MULTI_GET: u8 = 11;
 }
+
+/// Per-frame byte budget for scan response chunks: the server cuts a
+/// new `Entries` frame (with `more: true`) once the accumulated keys
+/// and values cross this many bytes, so a large range scan streams in
+/// bounded frames instead of materializing one giant reply.
+pub const SCAN_CHUNK_BUDGET: usize = 256 << 10;
 
 /// Response status bytes.
 pub mod status {
@@ -96,6 +104,12 @@ pub enum Request {
         /// `(is_delete, key, value)` triples; value empty for deletes.
         ops: Vec<(bool, Vec<u8>, Vec<u8>)>,
     },
+    /// Batched point read of several keys; the response carries one
+    /// presence+value slot per key, in request order.
+    MultiGet {
+        /// Keys to look up.
+        keys: Vec<Vec<u8>>,
+    },
     /// Forward scan from `start` for up to `count` live entries.
     Scan {
         /// First key (inclusive).
@@ -124,8 +138,16 @@ pub enum Response {
     NotFound,
     /// Ack with no body (writes, flush, ping, ...).
     Ok,
-    /// Scan results in key order.
-    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// MultiGet results: one slot per requested key, in request order.
+    Values(Vec<Option<Vec<u8>>>),
+    /// One chunk of scan results in key order. `more` announces that
+    /// further chunks of the same scan follow on this connection.
+    Entries {
+        /// Entries in this chunk.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Whether another chunk follows.
+        more: bool,
+    },
     /// Stats dump: human-readable text plus the binary snapshot.
     Stats {
         /// `stats_text()` output plus the server's own section.
@@ -244,6 +266,13 @@ impl Request {
                     }
                 }
             }
+            Request::MultiGet { keys } => {
+                out.push(op::MULTI_GET);
+                put_u32(&mut out, keys.len() as u32);
+                for key in keys {
+                    put_bytes(&mut out, key);
+                }
+            }
             Request::Scan { start, count } => {
                 out.push(op::SCAN);
                 put_bytes(&mut out, start);
@@ -294,6 +323,19 @@ impl Request {
                     ops.push((is_delete, key, value));
                 }
                 Request::Batch { sync, ops }
+            }
+            op::MULTI_GET => {
+                let n = c.u32()? as usize;
+                // Each key costs at least a 4-byte length on the wire;
+                // checking first bounds the allocation.
+                if n > (payload.len() - c.pos) / 4 + 1 {
+                    return Err(Error::corruption("key count exceeds frame"));
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(c.bytes()?);
+                }
+                Request::MultiGet { keys }
             }
             op::SCAN => Request::Scan { start: c.bytes()?, count: c.u32()? },
             op::FLUSH => Request::Flush,
@@ -360,8 +402,22 @@ impl Response {
             }
             Response::NotFound => out.push(status::NOT_FOUND),
             Response::Ok => out.push(status::OK),
-            Response::Entries(entries) => {
+            Response::Values(values) => {
                 out.push(status::OK);
+                put_u32(&mut out, values.len() as u32);
+                for v in values {
+                    match v {
+                        Some(v) => {
+                            out.push(1);
+                            put_bytes(&mut out, v);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+            Response::Entries { entries, more } => {
+                out.push(status::OK);
+                out.push(u8::from(*more));
                 put_u32(&mut out, entries.len() as u32);
                 for (k, v) in entries {
                     put_bytes(&mut out, k);
@@ -391,7 +447,33 @@ impl Response {
             status::ERR => Response::Err(decode_error(&mut c)?),
             status::OK => match req {
                 Request::Get { .. } => Response::Value(c.bytes()?),
+                Request::MultiGet { .. } => {
+                    let n = c.u32()? as usize;
+                    if n > (payload.len() - c.pos) + 1 {
+                        return Err(Error::corruption("value count exceeds frame"));
+                    }
+                    let mut values = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        values.push(match c.u8()? {
+                            0 => None,
+                            1 => Some(c.bytes()?),
+                            other => {
+                                return Err(Error::corruption(format!(
+                                    "bad presence byte {other}"
+                                )))
+                            }
+                        });
+                    }
+                    Response::Values(values)
+                }
                 Request::Scan { .. } => {
+                    let more = match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(Error::corruption(format!("bad more flag {other}")))
+                        }
+                    };
                     let n = c.u32()? as usize;
                     let mut entries = Vec::new();
                     for _ in 0..n {
@@ -399,7 +481,7 @@ impl Response {
                         let v = c.bytes()?;
                         entries.push((k, v));
                     }
-                    Response::Entries(entries)
+                    Response::Entries { entries, more }
                 }
                 Request::Stats => {
                     let text = String::from_utf8_lossy(&c.bytes()?).into_owned();
@@ -535,6 +617,9 @@ mod tests {
                 (true, b"b".to_vec(), Vec::new()),
             ],
         });
+        roundtrip_req(Request::MultiGet {
+            keys: vec![b"a".to_vec(), Vec::new(), b"long-key".to_vec()],
+        });
         roundtrip_req(Request::Scan { start: b"s".to_vec(), count: 10 });
         roundtrip_req(Request::Flush);
         roundtrip_req(Request::Stats);
@@ -555,8 +640,16 @@ mod tests {
             assert_eq!(Response::decode(&get, &enc).unwrap(), resp);
         }
         let scan = Request::Scan { start: Vec::new(), count: 5 };
-        let entries = Response::Entries(vec![(b"a".to_vec(), b"1".to_vec())]);
-        assert_eq!(Response::decode(&scan, &entries.encode()).unwrap(), entries);
+        for more in [false, true] {
+            let entries = Response::Entries {
+                entries: vec![(b"a".to_vec(), b"1".to_vec())],
+                more,
+            };
+            assert_eq!(Response::decode(&scan, &entries.encode()).unwrap(), entries);
+        }
+        let mget = Request::MultiGet { keys: vec![b"a".to_vec(), b"b".to_vec()] };
+        let values = Response::Values(vec![Some(b"1".to_vec()), None]);
+        assert_eq!(Response::decode(&mget, &values.encode()).unwrap(), values);
     }
 
     #[test]
@@ -572,6 +665,50 @@ mod tests {
         let mut lying = vec![op::GET];
         lying.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Request::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn truncated_multiget_frames_error_not_panic() {
+        let req = Request::MultiGet {
+            keys: vec![b"alpha".to_vec(), Vec::new(), b"gamma-key".to_vec()],
+        };
+        let full = req.encode();
+        for cut in 0..full.len() {
+            let _ = Request::decode(&full[..cut]); // must not panic
+        }
+        // Key count promising more keys than the frame can hold.
+        let mut lying = vec![op::MULTI_GET];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+
+        let resp = Response::Values(vec![Some(b"v1".to_vec()), None, Some(Vec::new())]);
+        let full = resp.encode();
+        for cut in 0..full.len() {
+            let _ = Response::decode(&req, &full[..cut]); // must not panic
+        }
+        // Value count promising more slots than the frame holds.
+        let mut lying = vec![status::OK];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&req, &lying).is_err());
+        // Presence byte outside {0, 1}.
+        let bad = [status::OK, 1, 0, 0, 0, 7];
+        assert!(Response::decode(&req, &bad).is_err());
+    }
+
+    #[test]
+    fn truncated_scan_chunk_frames_error_not_panic() {
+        let req = Request::Scan { start: b"s".to_vec(), count: 100 };
+        let resp = Response::Entries {
+            entries: vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), Vec::new())],
+            more: true,
+        };
+        let full = resp.encode();
+        for cut in 0..full.len() {
+            let _ = Response::decode(&req, &full[..cut]); // must not panic
+        }
+        // More-flag outside {0, 1}.
+        let bad = [status::OK, 9, 0, 0, 0, 0];
+        assert!(Response::decode(&req, &bad).is_err());
     }
 
     #[test]

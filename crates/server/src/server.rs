@@ -1,47 +1,78 @@
-//! The TCP server: thread-per-connection workers over a [`KvEngine`].
+//! The TCP server: an event-driven readiness loop over a [`KvEngine`].
 //!
-//! Each connection is served strictly in order — read a frame, execute,
-//! write the response — so pipelined clients get responses in request
-//! order. Before reading the *next* request the worker consults the
-//! engine's live write regime: while the write controller reports
-//! `Stopped`, the worker simply stops reading its socket. TCP flow
-//! control then pushes the stall back to the client instead of letting
-//! requests pile up in server memory.
+//! A small pool of event-loop threads (one [`Poller`] each) serves all
+//! connections over non-blocking sockets, so thousands of connections
+//! do not mean thousands of threads. The accept thread hands each new
+//! connection to a loop round-robin.
 //!
-//! Shutdown is graceful: the accept loop closes, every worker finishes
-//! (and acks) the request it is currently executing, partially received
-//! frames are drained and served, and only then are the threads joined
-//! and the engine released. Because a write is acked only after
-//! `write_opt` returns, nothing is ever acked that the engine has not
-//! committed under the request's durability flag.
+//! Each connection is still served strictly in order — frames are
+//! parsed, executed, and answered FIFO — so pipelined clients get
+//! responses in request order. Scans stream: the reply is produced in
+//! bounded chunks (see [`SCAN_CHUNK_BUDGET`]), and the next chunk is
+//! only built once the previous one has drained into the socket, so a
+//! huge range scan never balloons the reply buffer.
+//!
+//! Backpressure: while the engine's write controller reports `Stopped`,
+//! the loops stop reading sockets entirely (pending replies still
+//! flush). The kernel receive buffers fill, TCP advertises a zero
+//! window, and the stall propagates to clients instead of ballooning
+//! server memory.
+//!
+//! Shutdown is graceful: the accept loop closes, buffered complete
+//! frames are executed and answered, partially received frames get
+//! [`DRAIN_GRACE`] to finish arriving (then are served too), replies are
+//! flushed, and only then do the loops exit. Because a write is acked
+//! only after `write_opt` returns, nothing is ever acked that the
+//! engine has not committed under the request's durability flag.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lsm_kvs::{KvEngine, WriteOptions, WriteRegime};
 use parking_lot::Mutex;
 
-use crate::protocol::{frame, ops_to_batch, Request, Response, MAX_FRAME_LEN};
+use crate::poll::{PollEvent, Poller, WAKE_TOKEN};
+use crate::protocol::{
+    frame, ops_to_batch, Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET,
+};
 
-/// How long a blocked socket read waits before re-checking the
-/// shutdown flag and the write regime.
+/// Upper bound on the event-loop wait; also how often the shutdown flag
+/// is rechecked when nothing happens.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Sleep slice while the engine reports a stopped write regime.
 const STALL_BACKOFF: Duration = Duration::from_millis(2);
 
-/// How long a connection trusts its cached write-regime reading before
+/// How long a loop trusts its cached write-regime reading before
 /// consulting the engine again.
 const REGIME_RECHECK: Duration = Duration::from_millis(1);
 
-/// How long a worker keeps waiting for the rest of a partially received
-/// frame once shutdown has been requested. Bounds drain time against a
-/// client that sent half a frame and went silent.
+/// How long a partially received frame may keep trickling in once
+/// shutdown has been requested. Bounds drain time against a client
+/// that sent half a frame and went silent.
 const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// A connection whose pending reply makes no socket progress for this
+/// long is dropped — a client that stops reading cannot pin a loop (and
+/// with it, shutdown) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Stop executing buffered requests for a connection once its unsent
+/// reply bytes cross this mark; intake resumes when the socket drains.
+const OUTBUF_HIGH_WATER: usize = 1 << 20;
+
+/// Per-event cap on bytes read from one socket, for fairness across
+/// connections on the same loop (level-triggered polling re-fires).
+const READ_QUANTUM: usize = 256 * 1024;
+
+/// Upper bound on event-loop threads; the accept thread deals
+/// connections round-robin across them.
+const MAX_EVENT_LOOPS: usize = 4;
 
 /// Per-server counters, rendered as a `** Server Stats **` section that
 /// the Stats RPC appends to the engine's `stats_text()` dump.
@@ -57,13 +88,19 @@ pub struct ServerStats {
     pub requests_err: AtomicU64,
     /// Protocol violations that closed a connection.
     pub protocol_errors: AtomicU64,
-    /// Times a worker paused socket intake because the engine reported
+    /// Times a loop paused socket intake because the engine reported
     /// a stopped write regime.
     pub backpressure_stalls: AtomicU64,
     /// Payload bytes received (excluding length prefixes).
     pub bytes_received: AtomicU64,
     /// Payload bytes sent (excluding length prefixes).
     pub bytes_sent: AtomicU64,
+    /// Scan response chunks streamed.
+    pub scan_chunks_sent: AtomicU64,
+    /// High-water mark of any connection's buffered reply bytes; with
+    /// streaming scans this stays near [`SCAN_CHUNK_BUDGET`] no matter
+    /// how large the scanned range is.
+    pub scan_peak_reply_bytes: AtomicU64,
 }
 
 impl ServerStats {
@@ -73,7 +110,8 @@ impl ServerStats {
             "\n** Server Stats **\n\
              connections_accepted: {}  connections_active: {}\n\
              requests_ok: {}  requests_err: {}  protocol_errors: {}\n\
-             backpressure_stalls: {}  bytes_received: {}  bytes_sent: {}\n",
+             backpressure_stalls: {}  bytes_received: {}  bytes_sent: {}\n\
+             scan_chunks_sent: {}  scan_peak_reply_bytes: {}\n",
             self.connections_accepted.load(Ordering::Relaxed),
             self.connections_active.load(Ordering::Relaxed),
             self.requests_ok.load(Ordering::Relaxed),
@@ -82,6 +120,8 @@ impl ServerStats {
             self.backpressure_stalls.load(Ordering::Relaxed),
             self.bytes_received.load(Ordering::Relaxed),
             self.bytes_sent.load(Ordering::Relaxed),
+            self.scan_chunks_sent.load(Ordering::Relaxed),
+            self.scan_peak_reply_bytes.load(Ordering::Relaxed),
         )
     }
 }
@@ -92,6 +132,13 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// Hand-off point between the accept thread and one event loop.
+struct LoopShared {
+    poller: Poller,
+    /// Connections accepted but not yet adopted by the loop.
+    inject: Mutex<Vec<TcpStream>>,
+}
+
 /// A running server; dropping it (or calling [`shutdown`](Self::shutdown))
 /// drains and stops it.
 pub struct ServerHandle {
@@ -99,6 +146,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loops: Vec<Arc<LoopShared>>,
 }
 
 impl ServerHandle {
@@ -126,7 +174,7 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains in-flight requests, and joins every
-    /// worker. Idempotent.
+    /// event loop. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection; it may
@@ -134,6 +182,9 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        for l in &self.loops {
+            let _ = l.poller.wake();
         }
         let workers = std::mem::take(&mut *self.workers.lock());
         for w in workers {
@@ -152,7 +203,8 @@ impl Drop for ServerHandle {
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or a poller
+/// setup error.
 pub fn serve(engine: Arc<dyn KvEngine>, addr: &str) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
@@ -161,29 +213,59 @@ pub fn serve(engine: Arc<dyn KvEngine>, addr: &str) -> io::Result<ServerHandle> 
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
+
+    let n_loops = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(MAX_EVENT_LOOPS);
+    let mut loops = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        loops.push(Arc::new(LoopShared {
+            poller: Poller::new()?,
+            inject: Mutex::new(Vec::new()),
+        }));
+    }
+
     let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let mut w = workers.lock();
+        for (i, l) in loops.iter().enumerate() {
+            let s = Arc::clone(&shared);
+            let l = Arc::clone(l);
+            w.push(
+                std::thread::Builder::new()
+                    .name(format!("kv-loop-{i}"))
+                    .spawn(move || event_loop(&s, &l))?,
+            );
+        }
+    }
 
     let accept_shared = Arc::clone(&shared);
-    let accept_workers = Arc::clone(&workers);
+    let accept_loops = loops.clone();
     let accept_thread = std::thread::Builder::new()
         .name("kv-accept".into())
         .spawn(move || {
+            let mut next = 0usize;
             for conn in listener.incoming() {
                 if accept_shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let s = Arc::clone(&accept_shared);
-                s.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                s.stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                let worker = std::thread::Builder::new()
-                    .name("kv-conn".into())
-                    .spawn(move || {
-                        let _ = serve_connection(&s, stream);
-                        s.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
-                    })
-                    .expect("spawn connection worker");
-                accept_workers.lock().push(worker);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                accept_shared
+                    .stats
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                accept_shared
+                    .stats
+                    .connections_active
+                    .fetch_add(1, Ordering::Relaxed);
+                let l = &accept_loops[next % accept_loops.len()];
+                next += 1;
+                l.inject.lock().push(stream);
+                let _ = l.poller.wake();
             }
         })?;
 
@@ -192,156 +274,251 @@ pub fn serve(engine: Arc<dyn KvEngine>, addr: &str) -> io::Result<ServerHandle> 
         local_addr,
         accept_thread: Some(accept_thread),
         workers,
+        loops,
     })
 }
 
-/// Outcome of trying to read one frame.
-enum ReadFrame {
-    /// A complete payload.
-    Frame(Vec<u8>),
-    /// Clean end: peer closed between frames, or shutdown arrived
-    /// before any byte of the next frame.
-    Closed,
-    /// The peer violated the protocol (described by the message).
-    Protocol(String),
-    /// Transport failure.
-    Io(io::Error),
+// ---------------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------------
+
+/// A suspended streaming scan; the next chunk re-enters the engine from
+/// the successor of the last delivered key. Each chunk reads at its own
+/// snapshot (the engine scan API pins per call), which is the same
+/// guarantee a client re-issuing range reads would get.
+struct ScanCursor {
+    next_start: Vec<u8>,
+    remaining: usize,
 }
 
-/// Buffered frame reader: one `read(2)` usually yields the whole frame
-/// (header and payload together), and pipelined requests that arrived
-/// in the same segment are parsed without touching the socket again.
-struct FrameReader {
+struct ConnState {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Poller token: the slot index this connection occupies.
+    token: usize,
+    /// Inbound bytes not yet consumed as frames.
     pending: Vec<u8>,
+    /// Encoded response frames waiting for the socket.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Set while `outbuf` is non-empty and not making progress.
+    out_since: Option<Instant>,
+    scan: Option<ScanCursor>,
+    /// Peer sent EOF; serve what is buffered, then close.
+    eof: bool,
+    /// Flush `outbuf`, then close (protocol error, shutdown RPC, ...).
+    closing: bool,
+    /// Transport is broken; close immediately.
+    dead: bool,
+    /// Interest bits currently registered with the poller.
+    registered: (bool, bool),
+    /// Shutdown drain deadline for a partially received frame.
+    drain_deadline: Option<Instant>,
 }
 
-impl FrameReader {
-    fn new() -> FrameReader {
-        FrameReader { pending: Vec::new() }
-    }
-
-    /// Parses a complete frame out of `pending`, if one is there.
-    fn take_buffered(&mut self) -> Result<Option<Vec<u8>>, ReadFrame> {
-        if self.pending.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes"));
-        if len > MAX_FRAME_LEN {
-            return Err(ReadFrame::Protocol(format!(
-                "frame of {len} bytes exceeds {MAX_FRAME_LEN}"
-            )));
-        }
-        let total = 4 + len as usize;
-        if self.pending.len() < total {
-            return Ok(None);
-        }
-        let payload = self.pending[4..total].to_vec();
-        self.pending.drain(..total);
-        Ok(Some(payload))
-    }
-
-    /// Reads the next frame. A clean EOF or a requested shutdown ends
-    /// the connection **only at a frame boundary**; once part of a
-    /// frame is buffered it is always completed (a shutdown still
-    /// drains and serves it, bounded by [`DRAIN_GRACE`]) or surfaced as
-    /// an error — stopping halfway through a frame must never
-    /// desynchronize the stream.
-    fn next(&mut self, stream: &mut TcpStream, shared: &Shared) -> ReadFrame {
-        let mut drain_waited = Duration::ZERO;
-        loop {
-            match self.take_buffered() {
-                Ok(Some(payload)) => return ReadFrame::Frame(payload),
-                Ok(None) => {}
-                Err(e) => return e,
-            }
-            let boundary = self.pending.is_empty();
-            if boundary && shared.shutdown.load(Ordering::SeqCst) {
-                return ReadFrame::Closed;
-            }
-            let mut chunk = [0u8; 16 * 1024];
-            match stream.read(&mut chunk) {
-                Ok(0) => {
-                    if boundary {
-                        return ReadFrame::Closed;
-                    }
-                    return ReadFrame::Protocol("peer closed mid-frame".into());
-                }
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    // A quiet socket is fine while serving, but once
-                    // shutdown is requested a half-received frame only
-                    // gets DRAIN_GRACE to arrive — a silent client must
-                    // not pin the drain forever.
-                    if !boundary && shared.shutdown.load(Ordering::SeqCst) {
-                        drain_waited += POLL_INTERVAL;
-                        if drain_waited >= DRAIN_GRACE {
-                            return ReadFrame::Protocol(
-                                "connection idle mid-frame during shutdown".into(),
-                            );
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return ReadFrame::Io(e),
-            }
-        }
+impl ConnState {
+    fn unsent(&self) -> usize {
+        self.outbuf.len() - self.out_pos
     }
 }
 
-fn send_response(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> io::Result<()> {
-    let payload = resp.encode();
-    shared
-        .stats
-        .bytes_sent
-        .fetch_add(payload.len() as u64, Ordering::Relaxed);
-    stream.write_all(&frame(&payload))
-}
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
 
-fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    // A client that stops reading cannot pin this worker (and with it,
-    // shutdown) forever on a blocked response write.
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = FrameReader::new();
-    // The regime check takes the engine's state lock, so a cached value
-    // is reused for up to REGIME_RECHECK between frames instead of
-    // contending with the request path on every single request.
-    let mut regime = shared.engine.write_regime();
-    let mut regime_at = std::time::Instant::now();
+fn event_loop(shared: &Shared, ls: &LoopShared) {
+    let mut conns: Vec<Option<ConnState>> = Vec::new();
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut regime = WriteRegime::Normal;
+    let mut regime_at = Instant::now() - REGIME_RECHECK;
+
     loop {
-        // Backpressure: while the engine is in a stopped write regime,
-        // stop draining this socket. The kernel receive buffer fills,
-        // TCP advertises a zero window, and the stall propagates to the
-        // client instead of ballooning server memory. (Delayed regimes
-        // are handled by the engine's own write-path throttling.)
+        adopt_new(shared, ls, &mut conns);
+
+        let shutdown = shared.shutdown.load(Ordering::SeqCst);
+        if shutdown {
+            let deadline = Instant::now() + DRAIN_GRACE;
+            for c in conns.iter_mut().flatten() {
+                c.drain_deadline.get_or_insert(deadline);
+            }
+            if conns.iter().all(Option::is_none) && ls.inject.lock().is_empty() {
+                return;
+            }
+        }
+
+        if ls.poller.wait(&mut events, Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+
+        // Backpressure gate: consult the engine (with a short cache, the
+        // check takes its state lock) *before* acting on any readable
+        // event. While stopped, intake halts wholesale — sockets go
+        // unread, TCP pushes the stall to clients — but already-built
+        // replies still flush.
         if regime == WriteRegime::Stopped || regime_at.elapsed() >= REGIME_RECHECK {
             regime = shared.engine.write_regime();
-            regime_at = std::time::Instant::now();
-            if regime == WriteRegime::Stopped && !shared.shutdown.load(Ordering::SeqCst) {
-                shared.stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
-                while shared.engine.write_regime() == WriteRegime::Stopped
-                    && !shared.shutdown.load(Ordering::SeqCst)
-                {
-                    std::thread::sleep(STALL_BACKOFF);
+            regime_at = Instant::now();
+        }
+        if regime == WriteRegime::Stopped && !shutdown {
+            shared
+                .stats
+                .backpressure_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            while shared.engine.write_regime() == WriteRegime::Stopped
+                && !shared.shutdown.load(Ordering::SeqCst)
+            {
+                for c in conns.iter_mut().flatten() {
+                    flush_out(c);
                 }
-                regime = WriteRegime::Normal;
-                regime_at = std::time::Instant::now();
+                std::thread::sleep(STALL_BACKOFF);
+            }
+            regime = WriteRegime::Normal;
+            regime_at = Instant::now();
+            // Readiness is level-triggered: dropping this batch loses
+            // nothing, the next wait reports it again.
+            continue;
+        }
+
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                continue;
+            }
+            let Some(slot) = conns.get_mut(ev.token) else { continue };
+            let Some(conn) = slot else { continue };
+            if ev.readable && !conn.closing && !conn.eof {
+                read_socket(conn);
+            }
+            if ev.writable {
+                flush_out(conn);
             }
         }
-        let payload = match reader.next(&mut stream, shared) {
-            ReadFrame::Frame(p) => p,
-            ReadFrame::Closed => return Ok(()),
-            ReadFrame::Protocol(msg) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let resp = Response::Err(lsm_kvs::Error::corruption(msg));
-                let _ = send_response(&mut stream, shared, &resp);
-                return Ok(());
+
+        // Per-connection turn: execute buffered frames, pump streaming
+        // scans, enforce timeouts, refresh poller interest.
+        for slot in &mut conns {
+            let Some(conn) = slot else { continue };
+            if !conn.dead {
+                process_frames(shared, conn);
+                pump_scan(shared, conn);
+                finish_eof(shared, conn);
+                if shutdown {
+                    drain_tick(shared, conn);
+                }
+                check_write_timeout(conn);
             }
-            ReadFrame::Io(e) => return Err(e),
+            if conn.dead || (conn.closing && conn.unsent() == 0 && conn.scan.is_none()) {
+                let _ = ls.poller.deregister(conn.fd);
+                shared
+                    .stats
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+                *slot = None;
+                continue;
+            }
+            update_interest(ls, conn, shutdown);
+        }
+    }
+}
+
+fn adopt_new(shared: &Shared, ls: &LoopShared, conns: &mut Vec<Option<ConnState>>) {
+    let fresh = std::mem::take(&mut *ls.inject.lock());
+    for stream in fresh {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Accepted but never served: the dummy shutdown connection
+            // (and any last-instant client) just closes.
+            shared
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        let fd = stream.as_raw_fd();
+        let token = conns
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                conns.push(None);
+                conns.len() - 1
+            });
+        if ls.poller.register(fd, token, true, false).is_err() {
+            shared
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        conns[token] = Some(ConnState {
+            stream,
+            fd,
+            token,
+            pending: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            out_since: None,
+            scan: None,
+            eof: false,
+            closing: false,
+            dead: false,
+            registered: (true, false),
+            drain_deadline: None,
+        });
+    }
+}
+
+/// Reads whatever the socket has, bounded by [`READ_QUANTUM`] per call.
+fn read_socket(conn: &mut ConnState) {
+    let mut taken = 0usize;
+    let mut chunk = [0u8; 16 * 1024];
+    while taken < READ_QUANTUM {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.pending.extend_from_slice(&chunk[..n]);
+                taken += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Parses one complete frame out of `pending`, if present.
+fn take_buffered(pending: &mut Vec<u8>) -> Result<Option<Vec<u8>>, String> {
+    if pending.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(format!("frame of {len} bytes exceeds {MAX_FRAME_LEN}"));
+    }
+    let total = 4 + len as usize;
+    if pending.len() < total {
+        return Ok(None);
+    }
+    let payload = pending[4..total].to_vec();
+    pending.drain(..total);
+    Ok(Some(payload))
+}
+
+/// Executes buffered complete frames FIFO. Stops while a streaming scan
+/// is in flight (its chunks must precede any later response) or when the
+/// reply buffer is over the high-water mark.
+fn process_frames(shared: &Shared, conn: &mut ConnState) {
+    while conn.scan.is_none() && !conn.closing && conn.unsent() < OUTBUF_HIGH_WATER {
+        let payload = match take_buffered(&mut conn.pending) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(msg) => {
+                protocol_error(shared, conn, msg);
+                return;
+            }
         };
         shared
             .stats
@@ -353,21 +530,224 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                 // Malformed payload: answer with the decode error and
                 // close — after garbage we cannot trust the framing.
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = send_response(&mut stream, shared, &Response::Err(e));
-                return Ok(());
+                append_response(shared, conn, &Response::Err(e));
+                conn.closing = true;
+                return;
             }
         };
-        let is_shutdown_req = matches!(req, Request::Shutdown);
-        let resp = execute(shared, req);
-        match &resp {
-            Response::Err(_) => shared.stats.requests_err.fetch_add(1, Ordering::Relaxed),
-            _ => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
-        };
-        send_response(&mut stream, shared, &resp)?;
-        if is_shutdown_req {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            return Ok(());
+        match req {
+            Request::Scan { start, count } => {
+                conn.scan = Some(ScanCursor {
+                    next_start: start,
+                    remaining: count as usize,
+                });
+            }
+            Request::Shutdown => {
+                append_response(shared, conn, &Response::Ok);
+                shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                conn.closing = true;
+            }
+            req => {
+                let resp = execute(shared, req);
+                match &resp {
+                    Response::Err(_) => {
+                        shared.stats.requests_err.fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
+                };
+                append_response(shared, conn, &resp);
+            }
         }
+    }
+}
+
+fn protocol_error(shared: &Shared, conn: &mut ConnState, msg: String) {
+    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    append_response(shared, conn, &Response::Err(lsm_kvs::Error::corruption(msg)));
+    conn.closing = true;
+    conn.pending.clear();
+}
+
+fn append_response(shared: &Shared, conn: &mut ConnState, resp: &Response) {
+    let payload = resp.encode();
+    shared
+        .stats
+        .bytes_sent
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    conn.outbuf.extend_from_slice(&frame(&payload));
+    if conn.out_since.is_none() {
+        conn.out_since = Some(Instant::now());
+    }
+    shared
+        .stats
+        .scan_peak_reply_bytes
+        .fetch_max(conn.unsent() as u64, Ordering::Relaxed);
+}
+
+/// Streams scan chunks while the socket keeps up: a chunk is built only
+/// when the previous replies have fully drained, so the reply buffer
+/// holds at most one chunk of a scan at any moment.
+fn pump_scan(shared: &Shared, conn: &mut ConnState) {
+    loop {
+        if conn.scan.is_none() || conn.dead {
+            return;
+        }
+        flush_out(conn);
+        if conn.dead || conn.unsent() > 0 {
+            return; // wait for EPOLLOUT, then resume
+        }
+        let mut cur = conn.scan.take().expect("checked above");
+        let (resp, finished) = produce_scan_chunk(shared.engine.as_ref(), &mut cur);
+        if !finished {
+            conn.scan = Some(cur);
+        }
+        shared.stats.scan_chunks_sent.fetch_add(1, Ordering::Relaxed);
+        if finished {
+            match &resp {
+                Response::Err(_) => {
+                    shared.stats.requests_err.fetch_add(1, Ordering::Relaxed)
+                }
+                _ => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        append_response(shared, conn, &resp);
+        flush_out(conn);
+        if finished {
+            // The connection may have pipelined requests behind the
+            // scan; serve them now that ordering allows it (which may
+            // itself start the next scan — hence the loop).
+            process_frames(shared, conn);
+        }
+    }
+}
+
+/// Builds one scan chunk within [`SCAN_CHUNK_BUDGET`] key+value bytes.
+/// Entries are fetched in small slabs; when the budget lands mid-slab
+/// the leftovers are re-fetched next chunk from the successor key.
+fn produce_scan_chunk(engine: &dyn KvEngine, cur: &mut ScanCursor) -> (Response, bool) {
+    const SLAB: usize = 512;
+    let mut entries = Vec::new();
+    let mut bytes = 0usize;
+    loop {
+        if cur.remaining == 0 {
+            return (Response::Entries { entries, more: false }, true);
+        }
+        let ask = cur.remaining.min(SLAB);
+        let got = match engine.scan(&cur.next_start, ask) {
+            Ok(g) => g,
+            Err(e) => return (Response::Err(e), true),
+        };
+        let exhausted = got.len() < ask;
+        for (k, v) in got {
+            bytes += k.len() + v.len();
+            // Successor of `k` in bytewise order: k ++ 0x00.
+            let mut succ = k.clone();
+            succ.push(0);
+            cur.next_start = succ;
+            cur.remaining -= 1;
+            entries.push((k, v));
+            if cur.remaining == 0 {
+                return (Response::Entries { entries, more: false }, true);
+            }
+            if bytes >= SCAN_CHUNK_BUDGET {
+                return (Response::Entries { entries, more: true }, false);
+            }
+        }
+        if exhausted {
+            return (Response::Entries { entries, more: false }, true);
+        }
+    }
+}
+
+/// Writes as much of `outbuf` as the socket accepts.
+fn flush_out(conn: &mut ConnState) {
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.out_since = Some(Instant::now());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    conn.outbuf.clear();
+    conn.out_pos = 0;
+    conn.out_since = None;
+}
+
+/// After EOF: everything buffered has been served (process_frames ran);
+/// leftover partial bytes mean the peer quit mid-frame.
+fn finish_eof(shared: &Shared, conn: &mut ConnState) {
+    if !conn.eof || conn.closing {
+        return;
+    }
+    if !conn.pending.is_empty() && conn.scan.is_none() {
+        protocol_error(shared, conn, "peer closed mid-frame".into());
+    } else if conn.scan.is_none() {
+        conn.closing = true;
+    }
+}
+
+/// Shutdown drain: a connection ends at a frame boundary; a partial
+/// frame gets until the drain deadline to complete (and is then served),
+/// after which the connection is declared a protocol violation.
+fn drain_tick(shared: &Shared, conn: &mut ConnState) {
+    if conn.closing || conn.scan.is_some() {
+        return;
+    }
+    if conn.pending.is_empty() {
+        conn.closing = true;
+    } else if conn.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+        protocol_error(
+            shared,
+            conn,
+            "connection idle mid-frame during shutdown".into(),
+        );
+    }
+}
+
+fn check_write_timeout(conn: &mut ConnState) {
+    if conn.unsent() > 0
+        && conn
+            .out_since
+            .is_some_and(|t| t.elapsed() >= WRITE_TIMEOUT)
+    {
+        conn.dead = true;
+    }
+}
+
+fn update_interest(ls: &LoopShared, conn: &mut ConnState, shutdown: bool) {
+    let want_write = conn.unsent() > 0;
+    // During a streaming scan no further frames may be executed, and
+    // past the high-water mark intake pauses; in both cases leave the
+    // bytes in the kernel buffer (TCP backpressure) instead of pulling
+    // them into memory. During shutdown only a partial frame justifies
+    // reading more.
+    let mut want_read = !conn.closing
+        && !conn.eof
+        && conn.scan.is_none()
+        && conn.unsent() < OUTBUF_HIGH_WATER;
+    if shutdown {
+        want_read = want_read && !conn.pending.is_empty();
+    }
+    let target = (want_read, want_write);
+    if target != conn.registered
+        && ls
+            .poller
+            .modify(conn.fd, conn.token, want_read, want_write)
+            .is_ok()
+    {
+        conn.registered = target;
     }
 }
 
@@ -377,6 +757,10 @@ fn execute(shared: &Shared, req: Request) -> Response {
         Request::Get { key } => match engine.get(&key) {
             Ok(Some(v)) => Response::Value(v),
             Ok(None) => Response::NotFound,
+            Err(e) => Response::Err(e),
+        },
+        Request::MultiGet { keys } => match engine.multi_get(&keys) {
+            Ok(values) => Response::Values(values),
             Err(e) => Response::Err(e),
         },
         Request::Put { sync, key, value } => {
@@ -392,10 +776,6 @@ fn execute(shared: &Shared, req: Request) -> Response {
         Request::Batch { sync, ops } => {
             ack(engine.write_opt(&WriteOptions { sync }, ops_to_batch(&ops)))
         }
-        Request::Scan { start, count } => match engine.scan(&start, count as usize) {
-            Ok(entries) => Response::Entries(entries),
-            Err(e) => Response::Err(e),
-        },
         Request::Flush => ack(engine.flush()),
         Request::Stats => {
             let mut text = engine.stats_text();
@@ -404,7 +784,9 @@ fn execute(shared: &Shared, req: Request) -> Response {
         }
         Request::WaitIdle => ack(engine.wait_background_idle()),
         Request::Ping => Response::Ok,
-        Request::Shutdown => Response::Ok,
+        // Scan and Shutdown are handled in `process_frames` (they change
+        // connection state); reaching here is impossible.
+        Request::Scan { .. } | Request::Shutdown => Response::Ok,
     }
 }
 

@@ -326,6 +326,156 @@ fn power_cut_mid_write_loses_no_acked_writes() {
 }
 
 #[test]
+fn multiget_roundtrip_hits_misses_and_deletes() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = RemoteDb::connect(&addr).unwrap();
+
+    for i in 0..200u32 {
+        client.put(format!("mk{i:04}").as_bytes(), format!("mv{i}").as_bytes()).unwrap();
+    }
+    client.delete(b"mk0010").unwrap();
+    client.flush().unwrap();
+
+    // Unsorted on purpose: hits, a tombstone, misses, and a duplicate.
+    let keys: Vec<Vec<u8>> = vec![
+        b"mk0150".to_vec(),
+        b"mk0003".to_vec(),
+        b"absent".to_vec(),
+        b"mk0010".to_vec(),
+        b"mk0003".to_vec(),
+        b"zzz-way-past-everything".to_vec(),
+    ];
+    let got = client.multi_get(&keys).unwrap();
+    assert_eq!(got.len(), keys.len());
+    for (k, v) in keys.iter().zip(&got) {
+        assert_eq!(v.as_deref(), client.get(k).unwrap().as_deref(), "key {k:?}");
+    }
+    assert_eq!(got[0].as_deref(), Some(b"mv150".as_slice()));
+    assert_eq!(got[3], None, "deleted key must read as a miss");
+
+    // The engine saw these as batches, not looped gets.
+    let stats = client.stats();
+    assert!(
+        stats.tickers.get(lsm_kvs::Ticker::MultiGetBatches) >= 1,
+        "server-side multi_get path not taken: {:?}",
+        stats.tickers
+    );
+    assert!(stats.tickers.get(lsm_kvs::Ticker::MultiGetKeys) >= keys.len() as u64);
+    drop(handle);
+}
+
+#[test]
+fn streaming_scan_bounds_peak_reply_buffer() {
+    // Fill the engine in-process (fast), then serve and scan remotely.
+    // 100k entries at ~42 bytes of k+v each is ~4 MiB of reply data —
+    // far beyond one SCAN_CHUNK_BUDGET, so the server must stream.
+    let env = wall_env();
+    let db =
+        Db::builder(Options::default()).env(&env).vfs(Arc::new(MemVfs::new())).open().unwrap();
+    let n = 100_000usize;
+    let mut batch = WriteBatch::new();
+    for i in 0..n {
+        batch.put(
+            format!("scan-{i:08}").as_bytes(),
+            format!("value-{i:016}-padding").as_bytes(),
+        );
+        if batch.len() == 1000 {
+            db.write_opt(&WriteOptions::default(), std::mem::replace(&mut batch, WriteBatch::new()))
+                .unwrap();
+        }
+    }
+    if !batch.is_empty() {
+        db.write_opt(&WriteOptions::default(), batch).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_background_idle().unwrap();
+
+    let handle = serve(Arc::new(db), "127.0.0.1:0").unwrap();
+    let client = RemoteDb::connect(&handle.local_addr().to_string()).unwrap();
+
+    let entries = client.scan(b"", n + 10).unwrap();
+    assert_eq!(entries.len(), n, "streamed scan returned every entry");
+    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "streamed scan sorted");
+    assert_eq!(entries[0].0, b"scan-00000000".to_vec());
+    assert_eq!(entries[n - 1].0, format!("scan-{:08}", n - 1).into_bytes());
+
+    let stats = handle.stats();
+    let chunks = stats.scan_chunks_sent.load(Ordering::Relaxed);
+    let peak = stats.scan_peak_reply_bytes.load(Ordering::Relaxed);
+    assert!(chunks > 1, "scan was not chunked (chunks={chunks})");
+    assert!(
+        (peak as usize) < 2 * lsm_server::SCAN_CHUNK_BUDGET,
+        "peak reply buffer {peak} B exceeds 2x the {} B per-frame budget",
+        lsm_server::SCAN_CHUNK_BUDGET
+    );
+    drop(handle);
+}
+
+#[test]
+fn failed_request_does_not_corrupt_reused_connection() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = RemoteDb::connect(&addr).unwrap();
+    client.put(b"before", b"ok").unwrap();
+
+    // An oversized value makes the request frame exceed MAX_FRAME_LEN;
+    // the server reports a protocol error and closes that connection.
+    // The pooled connection is now poisoned — if the client reused it,
+    // the next request would read the server's EOF (or stale bytes).
+    // Depending on timing the client observes either the server's error
+    // frame (corruption) or a reset while still writing (transport
+    // error); both must poison the connection.
+    let huge = vec![0xAAu8; lsm_server::MAX_FRAME_LEN as usize + 1024];
+    client.put(b"too-big", &huge).unwrap_err();
+
+    // Back-to-back requests on the same client must all succeed on a
+    // fresh connection, with responses matching their requests.
+    for i in 0..10u32 {
+        let key = format!("after-{i}").into_bytes();
+        client.put(&key, format!("v{i}").as_bytes()).unwrap();
+        assert_eq!(client.get(&key).unwrap(), Some(format!("v{i}").into_bytes()));
+    }
+    assert_eq!(client.get(b"before").unwrap(), Some(b"ok".to_vec()));
+    assert!(handle.stats().protocol_errors.load(Ordering::Relaxed) >= 1);
+    drop(handle);
+}
+
+#[test]
+fn concurrent_gets_coalesce_into_multiget_batches() {
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = Arc::new(RemoteDb::connect(&addr).unwrap());
+    for i in 0..256u32 {
+        client.put(format!("ab{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+
+    // Many threads hammering get() through one shared client: while one
+    // leader's round trip is in flight, the rest queue up and ride the
+    // next MultiGet frame.
+    let mut threads = Vec::new();
+    for t in 0..8u32 {
+        let client = Arc::clone(&client);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..300u32 {
+                let k = format!("ab{:04}", (t * 37 + i) % 256);
+                assert_eq!(
+                    client.get(k.as_bytes()).unwrap(),
+                    Some(format!("v{}", (t * 37 + i) % 256).into_bytes()),
+                );
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = client.stats();
+    assert!(
+        stats.tickers.get(lsm_kvs::Ticker::MultiGetBatches) >= 1,
+        "concurrent gets never coalesced into a MultiGet batch"
+    );
+    drop(handle);
+}
+
+#[test]
 fn backpressure_pauses_intake_while_stopped() {
     // Two L0 files with stop trigger 2 and auto compaction disabled:
     // the engine reports Stopped until a manual compaction clears L0.

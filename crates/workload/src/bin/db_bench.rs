@@ -82,6 +82,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut stats_dump = false;
     let mut shards: i64 = 1;
     let mut remote: Option<String> = None;
+    let mut batch_size = 16usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -119,11 +120,12 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--stats_dump" | "--stats-dump" => stats_dump = true,
             "--shards" => shards = take(&mut i)?.parse()?,
             "--remote" => remote = Some(take(&mut i)?),
+            "--batch-size" | "--batch_size" => batch_size = take(&mut i)?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: db_bench [--benchmarks list] [--num N | --scale F] [--cores N] \
                      [--mem-gib N] [--device nvme|ssd|hdd] [--option k=v]... [--options-file f] \
-                     [--stats_dump] [--shards N] \
+                     [--stats_dump] [--shards N] [--batch-size N] \
                      [--real-time [--threads N] [--sync true|false] [--db dir]] \
                      [--remote host:port [--threads N] [--sync true|false]] \
                      [--crash-loop N [--db dir]]"
@@ -160,6 +162,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "readrandom" => BenchmarkSpec::readrandom(scale),
             "readrandomwriterandom" => BenchmarkSpec::readrandomwriterandom(scale),
             "mixgraph" => BenchmarkSpec::mixgraph(scale),
+            "multireadrandom" => BenchmarkSpec::multireadrandom(scale, batch_size),
             other => return Err(format!("unknown benchmark: {other}").into()),
         };
         if let Some(n) = num {

@@ -143,7 +143,13 @@ impl BenchReport {
     }
 
     fn reads_issued(&self) -> u64 {
-        self.read_latency.map(|h| h.count).unwrap_or(0)
+        // Keys read, not histogram samples: a multi_get batch records
+        // one latency sample but reads many keys. Writes always record
+        // one sample per key, so the difference is the read count.
+        if self.read_latency.is_none() {
+            return 0;
+        }
+        self.ops.saturating_sub(self.write_latency.map(|h| h.count).unwrap_or(0))
     }
 }
 
@@ -226,6 +232,7 @@ mod tests {
         assert!(!r.to_db_bench_text().contains("found"));
         r.read_latency = Some(snapshot(100));
         r.found = 900;
+        r.ops = 2000; // 1000 writes (histogram) + 1000 reads
         assert!(r.to_db_bench_text().contains("(900 of 1000 found)"));
     }
 

@@ -95,11 +95,13 @@ pub fn run_benchmark<E: KvEngine + ?Sized>(
         env.clock().set(thread_time);
         let op = threads[idx].next_op(spec);
         let before = env.clock().now();
-        match op {
+        // Keys covered by this op: 1, or the whole multi_get batch.
+        let keys_done = match op {
             Op::Put(key, value) => {
                 db.put(&key, &value)?;
                 let latency = env.clock().now() - before;
                 write_hist.record(latency);
+                1
             }
             Op::Get(key) => {
                 if db.get(&key)?.is_some() {
@@ -107,8 +109,16 @@ pub fn run_benchmark<E: KvEngine + ?Sized>(
                 }
                 let latency = env.clock().now() - before;
                 read_hist.record(latency);
+                1
             }
-        }
+            Op::MultiGet(keys) => {
+                let got = db.multi_get(&keys)?;
+                found += got.iter().filter(|v| v.is_some()).count() as u64;
+                let latency = env.clock().now() - before;
+                read_hist.record(latency);
+                keys.len() as u64
+            }
+        };
         let mut after = env.clock().now();
         // Mixgraph QPS pacing: space requests along a sine wave.
         if let Some(gap) = threads[idx].pacing_gap(spec, after.saturating_since(start)) {
@@ -118,7 +128,7 @@ pub fn run_benchmark<E: KvEngine + ?Sized>(
             }
         }
         threads[idx].time = after;
-        total_ops += 1;
+        total_ops += keys_done;
     }
 
     // Settle the clock at the max thread time for the duration figure.
@@ -185,19 +195,22 @@ pub fn run_benchmark_real<E: KvEngine + ?Sized>(
     };
 
     let start = std::time::Instant::now();
-    let per_thread: Vec<Result<(Histogram, Histogram, u64)>> = std::thread::scope(|scope| {
+    let per_thread: Vec<Result<(Histogram, Histogram, u64, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let write_opts = write_opts.clone();
                 let ops = spec.num_ops / threads as u64
                     + u64::from((t as u64) < spec.num_ops % threads as u64);
-                scope.spawn(move || -> Result<(Histogram, Histogram, u64)> {
+                scope.spawn(move || -> Result<(Histogram, Histogram, u64, u64)> {
                     let mut state = ThreadState::new(spec, t as u64, SimTime::ZERO);
                     let mut write_hist = Histogram::new();
                     let mut read_hist = Histogram::new();
                     let mut found = 0u64;
-                    for _ in 0..ops {
-                        match state.next_op(spec) {
+                    // `ops` counts keys, so a multi_get batch advances
+                    // the loop by its whole batch at once.
+                    let mut issued = 0u64;
+                    while issued < ops {
+                        issued += match state.next_op(spec) {
                             Op::Put(key, value) => {
                                 let mut batch = WriteBatch::with_capacity(1);
                                 batch.put(&key, &value);
@@ -205,6 +218,7 @@ pub fn run_benchmark_real<E: KvEngine + ?Sized>(
                                 db.write_opt(&write_opts, batch)?;
                                 write_hist
                                     .record(SimDuration::from_secs_f64(before.elapsed().as_secs_f64()));
+                                1
                             }
                             Op::Get(key) => {
                                 let before = std::time::Instant::now();
@@ -213,10 +227,19 @@ pub fn run_benchmark_real<E: KvEngine + ?Sized>(
                                 }
                                 read_hist
                                     .record(SimDuration::from_secs_f64(before.elapsed().as_secs_f64()));
+                                1
                             }
-                        }
+                            Op::MultiGet(keys) => {
+                                let before = std::time::Instant::now();
+                                let got = db.multi_get(&keys)?;
+                                found += got.iter().filter(|v| v.is_some()).count() as u64;
+                                read_hist
+                                    .record(SimDuration::from_secs_f64(before.elapsed().as_secs_f64()));
+                                keys.len() as u64
+                            }
+                        };
                     }
-                    Ok((write_hist, read_hist, found))
+                    Ok((write_hist, read_hist, found, issued))
                 })
             })
             .collect();
@@ -230,13 +253,14 @@ pub fn run_benchmark_real<E: KvEngine + ?Sized>(
     let mut write_hist = Histogram::new();
     let mut read_hist = Histogram::new();
     let mut found = 0u64;
+    let mut total_ops = 0u64;
     for r in per_thread {
-        let (w, rd, f) = r?;
+        let (w, rd, f, issued) = r?;
         write_hist.merge(&w);
         read_hist.merge(&rd);
         found += f;
+        total_ops += issued;
     }
-    let total_ops = write_hist.count() + read_hist.count();
 
     let stats = db.stats();
     let tickers = stats.tickers.delta_since(&tickers_before);
@@ -291,6 +315,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 enum Op {
     Put(Vec<u8>, Vec<u8>),
     Get(Vec<u8>),
+    MultiGet(Vec<Vec<u8>>),
 }
 
 struct ThreadState {
@@ -342,6 +367,9 @@ impl ThreadState {
                     Op::Put(self.keygen.next_key(), self.valuegen.next_value())
                 }
             }
+            WorkloadKind::MultiReadRandom(batch_size) => Op::MultiGet(
+                (0..(*batch_size).max(1)).map(|_| self.keygen.next_key()).collect(),
+            ),
         }
     }
 
@@ -424,6 +452,23 @@ mod tests {
         assert!(report.read_latency.is_some());
         // All reads target the preloaded space, so all should be found.
         assert_eq!(report.found, 2_000);
+    }
+
+    #[test]
+    fn multireadrandom_batches_reads_through_multi_get() {
+        let env = env();
+        let db = Db::builder(small_opts()).env(&env).open().unwrap();
+        let spec = tiny(BenchmarkSpec::multireadrandom(1.0, 16), 2_000);
+        let report = run_benchmark(&db, &env, &spec, None).unwrap();
+        assert_eq!(report.ops, 2_000, "ops count keys, not batches");
+        assert_eq!(report.found, 2_000, "all reads target the preload");
+        let reads = report.read_latency.unwrap();
+        assert_eq!(reads.count, 2_000 / 16, "one latency sample per batch");
+        assert!(
+            report.tickers.get(lsm_kvs::Ticker::MultiGetBatches) >= 2_000 / 16,
+            "runner must go through the engine's multi_get"
+        );
+        assert_eq!(report.tickers.get(lsm_kvs::Ticker::MultiGetKeys), 2_000);
     }
 
     #[test]

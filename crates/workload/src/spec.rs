@@ -45,6 +45,11 @@ pub enum WorkloadKind {
     ReadRandomWriteRandom,
     /// The Facebook production model (50/50 by default).
     Mixgraph(MixgraphConfig),
+    /// Batched random reads: like ReadRandom but keys are read through
+    /// the engine's `multi_get`, this many at a time (db_bench
+    /// `multireadrandom`). Newtype payload because the vendored serde
+    /// derive does not handle struct variants.
+    MultiReadRandom(usize),
 }
 
 impl WorkloadKind {
@@ -55,6 +60,7 @@ impl WorkloadKind {
             WorkloadKind::ReadRandom => "readrandom",
             WorkloadKind::ReadRandomWriteRandom => "readrandomwriterandom",
             WorkloadKind::Mixgraph(_) => "mixgraph",
+            WorkloadKind::MultiReadRandom(_) => "multireadrandom",
         }
     }
 
@@ -65,6 +71,7 @@ impl WorkloadKind {
             WorkloadKind::ReadRandom => "RR",
             WorkloadKind::ReadRandomWriteRandom => "RRWR",
             WorkloadKind::Mixgraph(_) => "Mixgraph",
+            WorkloadKind::MultiReadRandom(_) => "MRR",
         }
     }
 }
@@ -175,6 +182,17 @@ impl BenchmarkSpec {
         }
     }
 
+    /// Batched-read companion to readrandom: the same preloaded store
+    /// and op count, but keys fetched `batch_size` at a time via
+    /// `multi_get`. `num_ops` counts keys, not batches, so throughput
+    /// is directly comparable with readrandom.
+    pub fn multireadrandom(scale: f64, batch_size: usize) -> Self {
+        BenchmarkSpec {
+            workload: WorkloadKind::MultiReadRandom(batch_size.max(1)),
+            ..Self::readrandom(scale)
+        }
+    }
+
     /// All four paper workloads at a common scale.
     pub fn paper_suite(scale: f64) -> Vec<BenchmarkSpec> {
         vec![
@@ -211,6 +229,10 @@ impl BenchmarkSpec {
                 cfg.read_fraction * 100.0,
                 (1.0 - cfg.read_fraction) * 100.0,
                 cfg.key_alpha
+            ),
+            WorkloadKind::MultiReadRandom(batch_size) => format!(
+                "batched read-intensive: {} random point reads issued {} at a time via multi_get over a database preloaded with {} keys",
+                self.num_ops, batch_size, self.preload_keys
             ),
         }
     }
@@ -260,6 +282,22 @@ mod tests {
             "readrandomwriterandom"
         );
         assert_eq!(BenchmarkSpec::mixgraph(1.0).workload.short_name(), "Mixgraph");
+    }
+
+    #[test]
+    fn multireadrandom_mirrors_readrandom() {
+        let mrr = BenchmarkSpec::multireadrandom(0.01, 32);
+        let rr = BenchmarkSpec::readrandom(0.01);
+        assert_eq!(mrr.num_ops, rr.num_ops);
+        assert_eq!(mrr.preload_keys, rr.preload_keys);
+        assert_eq!(mrr.workload.name(), "multireadrandom");
+        assert_eq!(mrr.workload.short_name(), "MRR");
+        assert!(mrr.describe().contains("multi_get"));
+        assert_eq!(
+            BenchmarkSpec::multireadrandom(0.01, 0).workload,
+            WorkloadKind::MultiReadRandom(1),
+            "batch size clamps to at least one key"
+        );
     }
 
     #[test]
