@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -65,6 +65,49 @@ timeout 30 ./target/release/kv_server --shutdown 127.0.0.1:7491
 wait "$SERVER_PID"
 trap 'rm -rf "$CRASH_DIR" "$SERVE_DIR"' EXIT
 rm -f /tmp/ci-remote.txt
+
+echo "==> live-retune gate: SetOptions over the wire against a serving store"
+LIVE_DIR="$(mktemp -d)"
+./target/release/kv_server --db "$LIVE_DIR" --listen 127.0.0.1:7493 &
+LIVE_PID=$!
+trap 'kill "$LIVE_PID" 2>/dev/null; rm -rf "$CRASH_DIR" "$SERVE_DIR" "$LIVE_DIR"' EXIT
+sleep 1
+# Background traffic for the live throughput windows to observe.
+timeout 180 ./target/release/db_bench --benchmarks fillrandom --num 1000000 \
+    --remote 127.0.0.1:7493 --threads 2 > /dev/null 2>&1 &
+LOAD_PID=$!
+# A mutable batch applies atomically, without a reopen.
+timeout 30 ./target/release/kv_server --set-options 127.0.0.1:7493 \
+    write_buffer_size=128MB,max_background_jobs=6 > /tmp/ci-live.txt
+grep -q "applied   write_buffer_size: 67108864 -> 134217728" /tmp/ci-live.txt
+grep -q "applied   max_background_jobs: 2 -> 6" /tmp/ci-live.txt
+# An immutable option is rejected by name — and must not disturb the
+# server: the Stats RPC immediately after still answers on a fresh
+# connection and shows exactly one committed batch.
+if timeout 30 ./target/release/kv_server --set-options 127.0.0.1:7493 \
+    num_shards=4 > /tmp/ci-live-rej.txt 2>&1; then
+    echo "immutable batch unexpectedly succeeded"; exit 1
+fi
+grep -q "rejected  num_shards" /tmp/ci-live-rej.txt
+timeout 30 ./target/release/kv_server --stats 127.0.0.1:7493 > /tmp/ci-live-stats.txt
+grep -q "\*\* Live options \*\*" /tmp/ci-live-stats.txt
+grep -q "write_buffer_size: 134217728 (opened: 67108864)" /tmp/ci-live-stats.txt
+grep -q "options_changed: 1" /tmp/ci-live-stats.txt
+# Full loop: LiveTarget retunes the serving store through the LLM
+# session — vetted diffs over SetOptions, throughput from Stats-RPC
+# ticker deltas, keep/revert on measured windows, immutable proposals
+# dropped by name instead of killing the session.
+timeout 120 ./target/release/live_tune --addr 127.0.0.1:7493 --iters 2 --window-ms 500 \
+    --start-option write_buffer_size=128MB --start-option max_background_jobs=6 \
+    > /tmp/ci-live-tune.txt
+grep -q "rejected immutable: num_shards" /tmp/ci-live-tune.txt
+grep -Eq "server confirmed [1-9][0-9]* live batch\(es\) via options_changed" /tmp/ci-live-tune.txt
+grep -Eq "\[(Kept|Reverted)\]" /tmp/ci-live-tune.txt
+kill "$LOAD_PID" 2>/dev/null || true
+timeout 30 ./target/release/kv_server --shutdown 127.0.0.1:7493
+wait "$LIVE_PID"
+trap 'rm -rf "$CRASH_DIR" "$SERVE_DIR" "$LIVE_DIR"' EXIT
+rm -f /tmp/ci-live.txt /tmp/ci-live-rej.txt /tmp/ci-live-stats.txt /tmp/ci-live-tune.txt
 
 echo "==> serving gate: protocol robustness + shutdown durability tests"
 timeout 120 cargo test -q -p lsm-server

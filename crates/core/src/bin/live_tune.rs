@@ -1,0 +1,171 @@
+//! `live_tune` — retune a **running** `kv_server` without restarting it.
+//!
+//! Points the ELMo-Tune feedback loop at a live server via
+//! [`elmo_tune::LiveTarget`]: each vetted option diff travels over the
+//! SetOptions RPC (no reopen), throughput is measured from the server's
+//! own ticker deltas across wall-clock windows (Stats RPC), and the
+//! flagger's keep/revert decision rolls rejected candidates back over
+//! the same wire.
+//!
+//! ```text
+//! live_tune --addr host:port [--iters N] [--window-ms MS]
+//!           [--cores N] [--mem-gib N] [--device nvme|ssd|hdd]
+//!           [--model scripted|expert|http:HOST:PORT] [--seed N]
+//!           [--start-option k=v]...
+//! ```
+//!
+//! `--start-option` must mirror any `--option` flags the server was
+//! launched with, so the loop's view of the live configuration starts
+//! correct. The default scripted model proposes a small mutable batch
+//! (plus one immutable option, to demonstrate live rejection), which
+//! makes the demo deterministic enough for CI.
+
+use std::time::Duration;
+
+use db_bench::BenchmarkSpec;
+use elmo_tune::{EnvSpec, LiveTarget, TuningConfig, TuningSession};
+use hw_sim::DeviceModel;
+use llm_client::{ExpertModel, HttpChatModel, LanguageModel, QuirkConfig, ScriptedModel};
+use lsm_kvs::options::Options;
+use lsm_server::RemoteDb;
+
+fn main() {
+    if let Err(e) = run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        eprintln!("live_tune: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr: Option<String> = None;
+    let mut iters = 2usize;
+    let mut window_ms = 1000u64;
+    let mut cores = 4usize;
+    let mut mem_gib = 8u64;
+    let mut device = DeviceModel::nvme_ssd();
+    let mut model_spec = "scripted".to_string();
+    let mut seed = 42u64;
+    let mut start = Options::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {}", args[*i - 1]).into())
+        };
+        match args[i].as_str() {
+            "--addr" => addr = Some(take(&mut i)?),
+            "--iters" => iters = take(&mut i)?.parse()?,
+            "--window-ms" => window_ms = take(&mut i)?.parse()?,
+            "--cores" => cores = take(&mut i)?.parse()?,
+            "--mem-gib" => mem_gib = take(&mut i)?.parse()?,
+            "--device" => {
+                device = match take(&mut i)?.as_str() {
+                    "nvme" => DeviceModel::nvme_ssd(),
+                    "ssd" | "sata_ssd" => DeviceModel::sata_ssd(),
+                    "hdd" => DeviceModel::sata_hdd(),
+                    other => return Err(format!("unknown device: {other}").into()),
+                }
+            }
+            "--model" => model_spec = take(&mut i)?,
+            "--seed" => seed = take(&mut i)?.parse()?,
+            "--start-option" => {
+                let kv = take(&mut i)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--start-option wants name=value, got {kv}"))?;
+                start.set_by_name(k, v)?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: live_tune --addr HOST:PORT [--iters N] [--window-ms MS] \
+                     [--cores N] [--mem-gib N] [--device nvme|ssd|hdd] \
+                     [--model scripted|expert|http:HOST:PORT] [--seed N] \
+                     [--start-option k=v]..."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("--addr HOST:PORT is required (use --help)")?;
+
+    let mut model: Box<dyn LanguageModel> = match model_spec.as_str() {
+        // Deterministic demo script: one mutable batch with an immutable
+        // option mixed in (the live layer must reject it by name and
+        // still land the rest), then a second mutable-only batch.
+        "scripted" => Box::new(ScriptedModel::new(vec![
+            "```ini\nmax_background_jobs=6\nwrite_buffer_size=128MB\nnum_shards=8\n```"
+                .to_string(),
+            "```ini\nlevel0_slowdown_writes_trigger=24\nlevel0_stop_writes_trigger=40\n```"
+                .to_string(),
+        ])),
+        "expert" => Box::new(ExpertModel::new(seed, QuirkConfig::default())),
+        other => match other.strip_prefix("http:") {
+            Some(hostport) => {
+                let (host, port) = hostport
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("--model http: wants HOST:PORT, got {hostport}"))?;
+                Box::new(HttpChatModel::new(host, port.parse()?))
+            }
+            None => return Err(format!("unknown model: {other}").into()),
+        },
+    };
+
+    let env_spec = EnvSpec {
+        cores,
+        mem_gib,
+        device,
+    };
+    let remote = RemoteDb::connect(&addr)?;
+    let mut target = LiveTarget::new(remote, env_spec.clone(), Duration::from_millis(window_ms));
+
+    let config = TuningConfig {
+        iterations: iters,
+        early_stop: false, // no in-run monitor over the wire
+        include_stats_dump: true,
+        ..TuningConfig::default()
+    };
+    // The spec is nominal: LiveTarget supplies workload/environment text.
+    let spec = BenchmarkSpec::fillrandom(1.0);
+    let report = TuningSession::new(env_spec, spec, model.as_mut())
+        .with_config(config)
+        .run_with_target(&mut target, start)?;
+
+    println!("live retune of {addr}: {}", report.environment);
+    println!("{}", report.iteration_series_text());
+    for (i, w) in target.windows().iter().enumerate() {
+        let mix = match (w.write_fraction, w.drift) {
+            (Some(wf), Some(dr)) => format!("write fraction {wf:.2} (drift {dr:+.2})"),
+            _ => "idle window".to_string(),
+        };
+        let skipped = if w.skipped_immutable.is_empty() {
+            String::new()
+        } else {
+            format!(", rejected immutable: {}", w.skipped_immutable.join(", "))
+        };
+        println!(
+            "window {i}: {:.0} ops/sec ({} writes / {} reads), {mix}, \
+             options_changed +{}{skipped}",
+            w.ops_per_sec, w.writes, w.reads, w.options_changed_delta
+        );
+    }
+    let applied: usize = report.records.iter().map(|r| r.applied.len()).sum();
+    let live_changes: u64 = target.windows().iter().map(|w| w.options_changed_delta).sum();
+    println!(
+        "applied {applied} option change(s) across {} iteration(s); \
+         server confirmed {live_changes} live batch(es) via options_changed",
+        report.records.len()
+    );
+    println!("final configuration delta vs start:");
+    let final_diff = Options::default().diff(&report.final_options);
+    if final_diff.is_empty() {
+        println!("  (none — every candidate was reverted)");
+    } else {
+        for (name, from, to) in final_diff {
+            println!("  {name}: {from} -> {to}");
+        }
+    }
+    Ok(())
+}

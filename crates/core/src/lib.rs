@@ -18,6 +18,12 @@
 //! | Benchmark Parser   | [`bench_text`] |
 //! | Feedback loop      | [`session`] |
 //!
+//! The loop measures through a [`TuningTarget`]: [`OfflineTarget`]
+//! reopens a database per candidate (the paper's cycle), while
+//! [`LiveTarget`] retunes a **running** `kv_server` over the wire — the
+//! SetOptions RPC applies each vetted diff without a reopen and
+//! throughput comes from Stats-RPC ticker deltas (see [`target`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -47,6 +53,7 @@ pub mod flagger;
 pub mod prompt;
 pub mod safeguard;
 pub mod session;
+pub mod target;
 
 pub use bench_text::{parse_db_bench_output, ParsedBench};
 pub use evaluate::{evaluate_response, ChangeOrigin, Evaluation, ProposedChange};
@@ -57,3 +64,4 @@ pub use session::{
     Decision, EnvSpec, IterationMetrics, IterationRecord, SessionError, TuningConfig,
     TuningReport, TuningSession,
 };
+pub use target::{LiveTarget, LiveWindow, Measurement, OfflineTarget, TuningTarget};

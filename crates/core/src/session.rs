@@ -6,19 +6,17 @@
 //! to reproduce the paper's tables and figures.
 
 use std::fmt;
-use std::sync::Arc;
 
-use db_bench::{run_benchmark, BenchReport, BenchmarkSpec, MonitorControl, MonitorSample};
+use db_bench::BenchmarkSpec;
 use hw_sim::{DeviceModel, HardwareEnv};
 use llm_client::{ChatRequest, LanguageModel, LlmError};
 use lsm_kvs::options::{ini, Options};
-use lsm_kvs::vfs::MemVfs;
-use lsm_kvs::Db;
 
-use crate::bench_text::{parse_db_bench_output, ParsedBench};
-use crate::flagger::{ActiveFlagger, EarlyStopMonitor, Objective, Verdict};
+use crate::bench_text::ParsedBench;
+use crate::flagger::{ActiveFlagger, Objective, Verdict};
 use crate::prompt::{build_tuning_prompt, PromptContext};
 use crate::safeguard::{vet, SafeguardPolicy, Violation};
+use crate::target::{OfflineTarget, TuningTarget};
 
 /// Errors from a tuning session.
 #[derive(Debug)]
@@ -356,13 +354,37 @@ impl<'m> TuningSession<'m> {
 
     /// Runs the feedback loop starting from `start` options.
     ///
+    /// Measures through an [`OfflineTarget`] — the paper's
+    /// reopen-per-candidate cycle, byte-identical to the pre-refactor
+    /// session.
+    ///
     /// # Errors
     ///
     /// Returns [`SessionError`] on engine or LLM failure.
     pub fn run(self, start: Options) -> Result<TuningReport, SessionError> {
+        let target = OfflineTarget::new(self.env_spec.clone(), self.spec.clone());
+        self.run_with_target(target, start)
+    }
+
+    /// Runs the feedback loop against an arbitrary [`TuningTarget`] —
+    /// e.g. a [`crate::target::LiveTarget`] pointed at a running
+    /// `kv_server`, which applies each vetted diff over the wire via the
+    /// SetOptions RPC instead of reopening a database.
+    ///
+    /// The session's [`EnvSpec`]/[`BenchmarkSpec`] are not consulted;
+    /// the target supplies environment and workload descriptions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on engine, transport, or LLM failure.
+    pub fn run_with_target(
+        self,
+        mut target: impl TuningTarget,
+        start: Options,
+    ) -> Result<TuningReport, SessionError> {
         let TuningSession {
-            env_spec,
-            spec,
+            env_spec: _,
+            spec: _,
             model,
             config,
             policy,
@@ -372,61 +394,13 @@ impl<'m> TuningSession<'m> {
             min_improvement: 0.005,
         };
 
-        // Preload once; every run starts from a fork of this base.
-        let base_vfs = if spec.preload_keys > 0 {
-            let env = env_spec.build();
-            let vfs = MemVfs::new();
-            {
-                let db = Db::builder(start.clone()).env(&env).vfs(Arc::new(vfs.clone())).open()?;
-                let mut preload_spec = spec.clone();
-                preload_spec.num_ops = 0;
-                run_benchmark(&db, &env, &preload_spec, None)?;
-            }
-            Some(vfs)
-        } else {
-            None
-        };
-
-        let run_spec = {
-            let mut s = spec.clone();
-            if base_vfs.is_some() {
-                s.preload_keys = 0;
-            }
-            s
-        };
-
-        let measure = |opts: &Options,
-                       reference: Option<f64>|
-         -> Result<(ParsedBench, BenchReport, HardwareEnv, Option<String>), SessionError> {
-            let env = env_spec.build();
-            let vfs: MemVfs = base_vfs.as_ref().map(MemVfs::fork).unwrap_or_default();
-            let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(vfs)).open()?;
-            let mut early = reference
-                .filter(|_| config.early_stop)
-                .map(EarlyStopMonitor::new);
-            let mut cb = |s: &MonitorSample| -> MonitorControl {
-                early
-                    .as_mut()
-                    .map(|m| m.observe(s))
-                    .unwrap_or(MonitorControl::Continue)
-            };
-            let report = run_benchmark(&db, &env, &run_spec, Some(&mut cb))?;
-            let stats_dump = config.include_stats_dump.then(|| db.stats_text());
-            let text = report.to_db_bench_text();
-            let parsed = parse_db_bench_output(&text).unwrap_or_else(|| ParsedBench {
-                workload: run_spec.workload.name().to_string(),
-                ops_per_sec: report.ops_per_sec,
-                micros_per_op: report.micros_per_op,
-                ops: report.ops,
-                aborted: report.aborted,
-                ..ParsedBench::default()
-            });
-            Ok((parsed, report, env, stats_dump))
-        };
-
         // Iteration 0: baseline with the starting configuration.
-        let (baseline_parsed, _baseline_report, mut last_env, mut last_dump) =
-            measure(&start, None)?;
+        let baseline_measured = target.measure(&start, None, config.include_stats_dump)?;
+        let (baseline_parsed, mut last_env, mut last_dump) = (
+            baseline_measured.parsed,
+            baseline_measured.env,
+            baseline_measured.stats_dump,
+        );
         let baseline = IterationMetrics::from(&baseline_parsed);
         let mut best_options = start.clone();
         let mut best_parsed = baseline_parsed.clone();
@@ -440,7 +414,7 @@ impl<'m> TuningSession<'m> {
 
         for index in 1..=config.iterations {
             let options_ini = ini::to_ini(&best_options);
-            let workload_text = spec.describe();
+            let workload_text = target.workload_text();
             let prompt = build_tuning_prompt(
                 &PromptContext {
                     env: &last_env,
@@ -497,10 +471,12 @@ impl<'m> TuningSession<'m> {
                 continue;
             }
 
-            let (candidate_parsed, _report, env, dump) =
-                measure(&outcome.options, Some(best_parsed.ops_per_sec))?;
-            last_env = env;
-            last_dump = dump;
+            let reference = config.early_stop.then_some(best_parsed.ops_per_sec);
+            let measured =
+                target.measure(&outcome.options, reference, config.include_stats_dump)?;
+            let candidate_parsed = measured.parsed;
+            last_env = measured.env;
+            last_dump = measured.stats_dump;
             let verdict = flagger.judge(&best_parsed, &candidate_parsed);
             let decision = if candidate_parsed.aborted {
                 Decision::AbortedEarly
@@ -524,6 +500,9 @@ impl<'m> TuningSession<'m> {
                     stagnant = 0;
                 }
                 _ => {
+                    // Rejected: live targets must roll the candidate's
+                    // changes back (offline targets reopen anyway).
+                    target.revert_to(&best_options)?;
                     deteriorated = true;
                     stagnant += 1;
                 }
@@ -549,8 +528,8 @@ impl<'m> TuningSession<'m> {
         }
 
         Ok(TuningReport {
-            workload: spec.workload.short_name().to_string(),
-            environment: env_spec.describe(),
+            workload: target.workload_short(),
+            environment: target.environment_text(),
             baseline,
             best: IterationMetrics::from(&best_parsed),
             records,

@@ -1,0 +1,462 @@
+//! Where the tuning loop points its benchmarks: the [`TuningTarget`]
+//! abstraction.
+//!
+//! The paper's loop measures each candidate configuration by *reopening*
+//! a database from a preloaded image and replaying a benchmark
+//! ([`OfflineTarget`] — the original in-process cycle, byte-identical to
+//! the pre-refactor session). [`LiveTarget`] points the same loop at a
+//! **running** `kv_server` instead: candidate diffs are applied over the
+//! wire with the SetOptions RPC (no reopen), and "throughput" is the
+//! server's own ticker deltas across a wall-clock observation window
+//! fetched via the Stats RPC. The keep/revert decision machinery above
+//! the trait is unchanged in both modes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use db_bench::{run_benchmark, BenchmarkSpec, MonitorControl, MonitorSample};
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::MemVfs;
+use lsm_kvs::{Db, Ticker};
+use lsm_server::{OptionAck, RemoteDb};
+
+use crate::bench_text::{parse_db_bench_output, ParsedBench};
+use crate::flagger::EarlyStopMonitor;
+use crate::session::{EnvSpec, SessionError};
+
+/// One measured run of a candidate configuration.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Headline metrics in the shape the flagger judges.
+    pub parsed: ParsedBench,
+    /// The hardware environment to describe in the next prompt.
+    pub env: HardwareEnv,
+    /// Engine stats dump for the next prompt, when requested.
+    pub stats_dump: Option<String>,
+}
+
+/// A thing the tuning loop can apply configurations to and benchmark.
+///
+/// `measure` is called once per iteration (and once for the baseline,
+/// with the starting configuration and `reference = None`). The target
+/// owns both halves of the cycle: making `opts` the configuration in
+/// force, and producing a [`ParsedBench`] the flagger can judge.
+///
+/// When the flagger rejects a candidate the session calls [`revert_to`]
+/// with the best-so-far configuration. Targets that reopen per run
+/// ([`OfflineTarget`]) need no action — the next `measure` starts from
+/// scratch — which is why the default is a no-op. Targets that mutate
+/// shared live state ([`LiveTarget`]) must roll the change back.
+///
+/// [`revert_to`]: TuningTarget::revert_to
+pub trait TuningTarget {
+    /// One-line hardware description for reports ("4 cores / 4 GiB / ...").
+    fn environment_text(&self) -> String;
+
+    /// Workload short name for reports (FR/RR/RRWR/Mixgraph/live).
+    fn workload_short(&self) -> String;
+
+    /// Workload description for prompts.
+    fn workload_text(&self) -> String;
+
+    /// Makes `opts` the configuration in force and measures it.
+    ///
+    /// `reference` is the best-so-far throughput when the session wants
+    /// an early-stop watchdog; `want_stats_dump` asks for an engine
+    /// stats dump to embed in the next prompt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on engine, transport, or benchmark
+    /// failure.
+    fn measure(
+        &mut self,
+        opts: &Options,
+        reference: Option<f64>,
+        want_stats_dump: bool,
+    ) -> Result<Measurement, SessionError>;
+
+    /// Restores `best` after a rejected candidate. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] if the rollback itself fails.
+    fn revert_to(&mut self, best: &Options) -> Result<(), SessionError> {
+        let _ = best;
+        Ok(())
+    }
+}
+
+impl<T: TuningTarget + ?Sized> TuningTarget for &mut T {
+    fn environment_text(&self) -> String {
+        (**self).environment_text()
+    }
+    fn workload_short(&self) -> String {
+        (**self).workload_short()
+    }
+    fn workload_text(&self) -> String {
+        (**self).workload_text()
+    }
+    fn measure(
+        &mut self,
+        opts: &Options,
+        reference: Option<f64>,
+        want_stats_dump: bool,
+    ) -> Result<Measurement, SessionError> {
+        (**self).measure(opts, reference, want_stats_dump)
+    }
+    fn revert_to(&mut self, best: &Options) -> Result<(), SessionError> {
+        (**self).revert_to(best)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OfflineTarget — the paper's reopen-per-run cycle
+// ---------------------------------------------------------------------------
+
+/// The original measurement cycle: a fresh simulated environment and a
+/// fresh [`Db`] per run, forked from a once-preloaded base image.
+///
+/// Call-for-call identical to the pre-refactor `TuningSession::run`
+/// internals, so `repro` goldens stay byte-identical.
+pub struct OfflineTarget {
+    env_spec: EnvSpec,
+    spec: BenchmarkSpec,
+    /// `None` until the first `measure`; then `Some(base)` where `base`
+    /// is the preloaded image (or `None` when the spec has no preload).
+    base_vfs: Option<Option<MemVfs>>,
+}
+
+impl OfflineTarget {
+    /// Creates the target. Preloading happens lazily on the first
+    /// `measure` call, with that call's options (the session baseline).
+    pub fn new(env_spec: EnvSpec, spec: BenchmarkSpec) -> Self {
+        OfflineTarget {
+            env_spec,
+            spec,
+            base_vfs: None,
+        }
+    }
+
+    fn ensure_preloaded(&mut self, opts: &Options) -> Result<(), SessionError> {
+        if self.base_vfs.is_some() {
+            return Ok(());
+        }
+        let base = if self.spec.preload_keys > 0 {
+            let env = self.env_spec.build();
+            let vfs = MemVfs::new();
+            {
+                let db = Db::builder(opts.clone())
+                    .env(&env)
+                    .vfs(Arc::new(vfs.clone()))
+                    .open()?;
+                let mut preload_spec = self.spec.clone();
+                preload_spec.num_ops = 0;
+                run_benchmark(&db, &env, &preload_spec, None)?;
+            }
+            Some(vfs)
+        } else {
+            None
+        };
+        self.base_vfs = Some(base);
+        Ok(())
+    }
+}
+
+impl TuningTarget for OfflineTarget {
+    fn environment_text(&self) -> String {
+        self.env_spec.describe()
+    }
+
+    fn workload_short(&self) -> String {
+        self.spec.workload.short_name().to_string()
+    }
+
+    fn workload_text(&self) -> String {
+        self.spec.describe()
+    }
+
+    fn measure(
+        &mut self,
+        opts: &Options,
+        reference: Option<f64>,
+        want_stats_dump: bool,
+    ) -> Result<Measurement, SessionError> {
+        self.ensure_preloaded(opts)?;
+        let base = self.base_vfs.as_ref().expect("preload ran");
+        let run_spec = {
+            let mut s = self.spec.clone();
+            if base.is_some() {
+                s.preload_keys = 0;
+            }
+            s
+        };
+        let env = self.env_spec.build();
+        let vfs: MemVfs = base.as_ref().map(MemVfs::fork).unwrap_or_default();
+        let db = Db::builder(opts.clone()).env(&env).vfs(Arc::new(vfs)).open()?;
+        let mut early = reference.map(EarlyStopMonitor::new);
+        let mut cb = |s: &MonitorSample| -> MonitorControl {
+            early
+                .as_mut()
+                .map(|m| m.observe(s))
+                .unwrap_or(MonitorControl::Continue)
+        };
+        let report = run_benchmark(&db, &env, &run_spec, Some(&mut cb))?;
+        let stats_dump = want_stats_dump.then(|| db.stats_text());
+        let text = report.to_db_bench_text();
+        let parsed = parse_db_bench_output(&text).unwrap_or_else(|| ParsedBench {
+            workload: run_spec.workload.name().to_string(),
+            ops_per_sec: report.ops_per_sec,
+            micros_per_op: report.micros_per_op,
+            ops: report.ops,
+            aborted: report.aborted,
+            ..ParsedBench::default()
+        });
+        Ok(Measurement {
+            parsed,
+            env,
+            stats_dump,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LiveTarget — retune a running kv_server over the wire
+// ---------------------------------------------------------------------------
+
+/// One observed throughput window on a live server.
+#[derive(Debug, Clone)]
+pub struct LiveWindow {
+    /// Keys written during the window (ticker delta).
+    pub writes: u64,
+    /// Keys read during the window (point + batched lookups).
+    pub reads: u64,
+    /// Combined throughput over the wall-clock window.
+    pub ops_per_sec: f64,
+    /// Writes as a fraction of all observed operations (0..1), or
+    /// `None` for an idle window.
+    pub write_fraction: Option<f64>,
+    /// Change in write fraction versus the session's first non-idle
+    /// window — the read/write-ratio drift signal.
+    pub drift: Option<f64>,
+    /// `options_changed` ticker increments observed while this window's
+    /// configuration was applied — confirms a SetOptions batch landed
+    /// without a reopen.
+    pub options_changed_delta: u64,
+    /// Option names the server rejected as immutable (skipped, not
+    /// applied; the rest of the diff still went through).
+    pub skipped_immutable: Vec<String>,
+}
+
+/// Points the tuning loop at a running `kv_server`.
+///
+/// Instead of reopening a database per candidate, `measure`:
+///
+/// 1. diffs the candidate against the configuration it last applied and
+///    ships only the changes via the SetOptions RPC (immutable options
+///    the server rejects are dropped from the diff and recorded, so a
+///    live session survives a model proposing `num_shards`);
+/// 2. sleeps for the observation window while the server keeps serving
+///    its real traffic;
+/// 3. computes throughput and read/write mix from Stats-RPC ticker
+///    deltas (`keys_written` + `keys_read` + `multi_get_keys`), and
+///    confirms the reconfiguration via the `options_changed` ticker.
+///
+/// The caller must start the session from the options the server was
+/// launched with — the first `measure` records them as the live
+/// configuration without issuing an RPC.
+pub struct LiveTarget {
+    remote: RemoteDb,
+    env_spec: EnvSpec,
+    window: Duration,
+    workload_text: String,
+    /// Mirror of the configuration currently in force on the server.
+    current: Option<Options>,
+    baseline_write_fraction: Option<f64>,
+    windows: Vec<LiveWindow>,
+}
+
+impl LiveTarget {
+    /// Creates a live target over an established connection pool.
+    ///
+    /// `env_spec` describes the server's hardware for prompt context;
+    /// `window` is how long each throughput observation lasts.
+    pub fn new(remote: RemoteDb, env_spec: EnvSpec, window: Duration) -> Self {
+        LiveTarget {
+            remote,
+            env_spec,
+            window,
+            workload_text: "live traffic against a running kv_server \
+                            (throughput measured from server ticker deltas)"
+                .to_string(),
+            current: None,
+            baseline_write_fraction: None,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Overrides the workload description shown to the model.
+    #[must_use]
+    pub fn with_workload_text(mut self, text: impl Into<String>) -> Self {
+        self.workload_text = text.into();
+        self
+    }
+
+    /// Every window observed so far, in measurement order.
+    pub fn windows(&self) -> &[LiveWindow] {
+        &self.windows
+    }
+
+    /// Applies `current -> opts` over the wire; returns the names the
+    /// server rejected as immutable (those stay at their old values in
+    /// the mirror).
+    fn apply_diff(&mut self, opts: &Options) -> Result<Vec<String>, SessionError> {
+        let Some(current) = self.current.as_mut() else {
+            // First call: the server is already running this config.
+            self.current = Some(opts.clone());
+            return Ok(Vec::new());
+        };
+        let diff = current.diff(opts);
+        if diff.is_empty() {
+            return Ok(Vec::new());
+        }
+        let pairs: Vec<(&str, &str)> = diff.iter().map(|(n, _, to)| (n.as_str(), to.as_str())).collect();
+        let acks = self.remote.set_options_detailed(&pairs)?;
+        let rejected: Vec<String> = acks
+            .iter()
+            .filter_map(|a| match a {
+                OptionAck::Rejected { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        let final_acks = if rejected.is_empty() {
+            acks
+        } else {
+            // A rejected pair voids the whole batch; retry without the
+            // immutable names so the mutable part of the diff lands.
+            let retained: Vec<(&str, &str)> = pairs
+                .iter()
+                .filter(|(n, _)| !rejected.iter().any(|r| r == n))
+                .copied()
+                .collect();
+            if retained.is_empty() {
+                Vec::new()
+            } else {
+                self.remote.set_options_detailed(&retained)?
+            }
+        };
+        for ack in &final_acks {
+            match ack {
+                OptionAck::Applied { name, to, .. } => {
+                    current.set_by_name(name, to)?;
+                }
+                OptionAck::Rejected { name, error } => {
+                    // Retry batch should not reject; treat as fatal.
+                    return Err(SessionError::Engine(lsm_kvs::Error::new(
+                        error.kind(),
+                        format!("{name}: {}", error.message()),
+                    )));
+                }
+                OptionAck::Unchanged { .. } | OptionAck::Skipped { .. } => {}
+            }
+        }
+        Ok(rejected)
+    }
+}
+
+impl TuningTarget for LiveTarget {
+    fn environment_text(&self) -> String {
+        format!("{} (live server at {})", self.env_spec.describe(), self.remote.addr())
+    }
+
+    fn workload_short(&self) -> String {
+        "live".to_string()
+    }
+
+    fn workload_text(&self) -> String {
+        self.workload_text.clone()
+    }
+
+    fn measure(
+        &mut self,
+        opts: &Options,
+        _reference: Option<f64>,
+        want_stats_dump: bool,
+    ) -> Result<Measurement, SessionError> {
+        let (_, pre) = self.remote.fetch_stats()?;
+        let skipped_immutable = self.apply_diff(opts)?;
+        let (_, s0) = self.remote.fetch_stats()?;
+        std::thread::sleep(self.window);
+        let (text, s1) = self.remote.fetch_stats()?;
+
+        let d = s1.tickers.delta_since(&s0.tickers);
+        let writes = d.get(Ticker::KeysWritten);
+        let reads = d.get(Ticker::KeysRead) + d.get(Ticker::MultiGetKeys);
+        let ops = writes + reads;
+        let secs = self.window.as_secs_f64().max(1e-9);
+        let ops_per_sec = ops as f64 / secs;
+        let micros_per_op = if ops > 0 { secs * 1e6 / ops as f64 } else { 0.0 };
+
+        let write_fraction = (ops > 0).then(|| writes as f64 / ops as f64);
+        if self.baseline_write_fraction.is_none() {
+            self.baseline_write_fraction = write_fraction;
+        }
+        let drift = match (write_fraction, self.baseline_write_fraction) {
+            (Some(now), Some(base)) => Some(now - base),
+            _ => None,
+        };
+        let options_changed_delta = s1
+            .tickers
+            .delta_since(&pre.tickers)
+            .get(Ticker::OptionsChanged);
+
+        let window = LiveWindow {
+            writes,
+            reads,
+            ops_per_sec,
+            write_fraction,
+            drift,
+            options_changed_delta,
+            skipped_immutable,
+        };
+
+        let stats_dump = want_stats_dump.then(|| {
+            let mut t = text.clone();
+            t.push_str(&format!(
+                "\nLive window ({}ms): {:.0} ops/sec, {} writes / {} reads",
+                self.window.as_millis(),
+                ops_per_sec,
+                writes,
+                reads,
+            ));
+            if let (Some(wf), Some(dr)) = (window.write_fraction, window.drift) {
+                t.push_str(&format!(
+                    ", write fraction {:.2} (drift {:+.2} vs session start)",
+                    wf, dr
+                ));
+            }
+            t
+        });
+        self.windows.push(window);
+
+        let parsed = ParsedBench {
+            workload: "live".to_string(),
+            ops_per_sec,
+            micros_per_op,
+            ops,
+            aborted: false,
+            ..ParsedBench::default()
+        };
+        Ok(Measurement {
+            parsed,
+            env: self.env_spec.build(),
+            stats_dump,
+        })
+    }
+
+    fn revert_to(&mut self, best: &Options) -> Result<(), SessionError> {
+        self.apply_diff(best)?;
+        Ok(())
+    }
+}

@@ -336,7 +336,13 @@ const MANIFEST_RETRIES: u32 = 5;
 const WAL_SYNC_RETRIES: u32 = 3;
 
 struct DbInner {
-    opts: Options,
+    /// Live options: swapped atomically by [`Db::set_options`] while
+    /// the state lock is held. Readers grab one `Arc` snapshot per
+    /// logical operation so multi-field decisions are never torn.
+    opts: RwLock<Arc<Options>>,
+    /// The options the database was opened with (drives the
+    /// "Live options" stats section and open-time sizing decisions).
+    opened_opts: Options,
     cost: CostModel,
     env: HardwareEnv,
     vfs: Arc<dyn Vfs>,
@@ -353,7 +359,6 @@ struct DbInner {
     last_regime: std::sync::atomic::AtomicU8,
     /// Clock position when the database was opened (drives uptime).
     opened_at: SimTime,
-    controller: WriteController,
     /// `Some` in real-concurrency (wall clock) mode, `None` in simulation.
     runtime: Option<Runtime>,
     /// Number of live user-facing [`Db`] handles (workers hold `Weak`s).
@@ -559,7 +564,6 @@ impl Db {
         shard: Option<crate::shard::ShardCtx>,
     ) -> Result<Db> {
         opts.validate()?;
-        let controller = WriteController::from_options(&opts);
         let block_cache = if let Some(ctx) = &shard {
             // Shards share one cache sized once by the facade.
             ctx.shared_block_cache()
@@ -584,7 +588,8 @@ impl Db {
 
         let db = Db {
             inner: Arc::new(DbInner {
-                opts,
+                opts: RwLock::new(Arc::new(opts.clone())),
+                opened_opts: opts,
                 cost: CostModel::default(),
                 env: env.clone(),
                 vfs,
@@ -596,7 +601,6 @@ impl Db {
                 listeners,
                 last_regime: std::sync::atomic::AtomicU8::new(regime_code(WriteRegime::Normal)),
                 opened_at: env.clock().now(),
-                controller,
                 runtime,
                 handles: std::sync::atomic::AtomicUsize::new(1),
                 bg_retries: std::sync::atomic::AtomicU64::new(0),
@@ -637,15 +641,66 @@ impl Db {
         self.inner.runtime.as_ref().map(|rt| Arc::clone(&rt.bg))
     }
 
-    /// The options this database runs with.
-    pub fn options(&self) -> &Options {
-        &self.inner.opts
+    /// A consistent snapshot of the options currently in force. The
+    /// snapshot is immutable; a concurrent [`Db::set_options`] swaps in
+    /// a new snapshot rather than mutating this one.
+    pub fn options(&self) -> Arc<Options> {
+        self.inner.opts()
     }
 
     /// The current ini rendering of the options (what tuning feeds the
     /// LLM).
     pub fn options_ini(&self) -> String {
-        ini::to_ini(&self.inner.opts)
+        ini::to_ini(&self.inner.opts())
+    }
+
+    /// Applies a batch of `(name, value)` option changes to the running
+    /// database — no reopen. The batch is atomic: either every pair
+    /// commits in one snapshot swap under the state lock, or nothing
+    /// changes. Options whose registry entry is not `mutable_online`
+    /// are rejected by name with a structured error; unknown names,
+    /// parse failures, range violations, and cross-option invariant
+    /// breaks also abort the whole batch.
+    ///
+    /// On a committing change the `OptionsChanged` ticker is bumped and
+    /// every registered [`EventListener`] receives
+    /// [`EventListener::on_options_changed`]. A batch whose pairs all
+    /// parse to the values already in force is a successful no-op
+    /// (no ticker, no callback).
+    ///
+    /// Returns the canonical `(name, from, to)` triples that took
+    /// effect.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) as described above; the message for
+    /// immutable rejections names every offending option.
+    pub fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        let inner = &*self.inner;
+        // The state lock serializes concurrent set_options calls and
+        // pins every in-progress state-locked decision to a single
+        // config: the swap below cannot interleave with them.
+        let _state = inner.state.lock();
+        let mut next = (*inner.opts()).clone();
+        let outcome = next.apply_live(changes)?;
+        if !outcome.committed() {
+            return Err(Error::invalid_argument(format!(
+                "cannot change immutable option(s) without reopen: {}",
+                outcome.rejected_immutable.join(", ")
+            )));
+        }
+        if outcome.applied.is_empty() {
+            return Ok(Vec::new());
+        }
+        *inner.opts.write() = Arc::new(next);
+        inner.stats.tickers().inc(Ticker::OptionsChanged);
+        let info = crate::listener::OptionsChangedInfo {
+            changes: outcome.applied.clone(),
+        };
+        for l in &inner.listeners {
+            l.on_options_changed(&info);
+        }
+        Ok(outcome.applied)
     }
 
     fn create_fresh(opts: &Options, vfs: &dyn Vfs) -> Result<DbState> {
@@ -912,13 +967,16 @@ impl Db {
             if guard > 100_000 {
                 return Err(Error::busy("write stall did not clear"));
             }
-            let regime = inner.controller.regime(&inner.pressure(&state));
+            // Rebuilt per iteration so a live change to the stall
+            // thresholds or delayed_write_rate takes effect mid-stall.
+            let controller = WriteController::from_options(&inner.opts());
+            let regime = controller.regime(&inner.pressure(&state));
             inner.note_regime(regime);
             match regime {
                 WriteRegime::Normal => break,
                 WriteRegime::Delayed => {
                     inner.stats.tickers().inc(Ticker::WriteSlowdowns);
-                    let delay = inner.controller.delay_for(batch_bytes);
+                    let delay = controller.delay_for(batch_bytes);
                     inner.env.clock().advance(delay);
                     inner.stats.tickers().add(Ticker::StallNanos, delay.as_nanos());
                     now = inner.env.clock().now();
@@ -956,7 +1014,7 @@ impl Db {
 
         // WAL append.
         let mut cpu = inner.cost.write_base_cpu;
-        if !inner.opts.disable_wal {
+        if !inner.opts().disable_wal {
             let record = batch.encode(first_seq);
             let record_len = record.len() as u64;
             let wal = state.wal.as_mut().expect("wal enabled");
@@ -976,7 +1034,7 @@ impl Db {
                     (record_len as f64 * inner.cost.wal_per_byte_cpu_ns) as u64,
                 );
             // Incremental WAL syncing (wal_bytes_per_sync) or OS writeback.
-            let per_sync = inner.opts.wal_bytes_per_sync;
+            let per_sync = inner.opts().wal_bytes_per_sync;
             if write_opts.sync {
                 // Durable write: the foreground blocks on the device sync.
                 let chunk = wal.bytes_since_sync();
@@ -990,7 +1048,7 @@ impl Db {
                 wal.sync()?;
                 let done = inner.env.device().submit_write(now, chunk, AccessPattern::Sequential);
                 inner.stats.tickers().inc(Ticker::WalSyncs);
-                if inner.opts.strict_bytes_per_sync {
+                if inner.opts().strict_bytes_per_sync {
                     inner.env.clock().advance_to(done);
                 }
             } else if per_sync == 0 {
@@ -1026,10 +1084,10 @@ impl Db {
 
         // Pipelining and concurrency-control modifiers.
         let mut factor = 1.0;
-        if inner.opts.enable_pipelined_write {
+        if inner.opts().enable_pipelined_write {
             factor *= if inner.env.cpu().num_cores() >= 4 { 0.88 } else { 1.05 };
         }
-        if !inner.opts.allow_concurrent_memtable_write {
+        if !inner.opts().allow_concurrent_memtable_write {
             factor *= 0.98; // single-writer skips the coordination
         }
         factor *= inner.foreground_contention(now);
@@ -1039,10 +1097,10 @@ impl Db {
         // Memtable switch triggers.
         let mem_bytes = state.mem.read().approximate_memory_usage() as u64;
         let wal_total: u64 = state.wal.as_ref().map(|w| w.bytes_written()).unwrap_or(0);
-        let db_buffer_full = inner.opts.db_write_buffer_size > 0
-            && mem_bytes + state.imm_bytes() > inner.opts.db_write_buffer_size;
-        if mem_bytes >= inner.opts.write_buffer_size
-            || wal_total >= inner.opts.effective_max_total_wal_size()
+        let db_buffer_full = inner.opts().db_write_buffer_size > 0
+            && mem_bytes + state.imm_bytes() > inner.opts().db_write_buffer_size;
+        if mem_bytes >= inner.opts().write_buffer_size
+            || wal_total >= inner.opts().effective_max_total_wal_size()
             || db_buffer_full
         {
             inner.switch_memtable(&mut state)?;
@@ -1070,7 +1128,7 @@ impl Db {
         }
         // Without concurrent memtable writes, commit strictly one batch
         // at a time (the queue still serializes leaders).
-        let max_group = if inner.opts.allow_concurrent_memtable_write {
+        let max_group = if inner.opts().allow_concurrent_memtable_write {
             MAX_GROUP_BATCHES
         } else {
             1
@@ -1195,10 +1253,10 @@ impl Db {
         }
 
         let mut factor = inner.foreground_contention(inner.env.clock().now());
-        if inner.opts.paranoid_checks {
+        if inner.opts().paranoid_checks {
             factor *= 1.08;
         }
-        if inner.opts.use_direct_reads {
+        if inner.opts().use_direct_reads {
             factor *= 1.05;
         }
         factor *= inner.env.memory().penalty_factor();
@@ -1335,10 +1393,10 @@ impl Db {
         }
 
         let mut factor = inner.foreground_contention(inner.env.clock().now());
-        if inner.opts.paranoid_checks {
+        if inner.opts().paranoid_checks {
             factor *= 1.08;
         }
-        if inner.opts.use_direct_reads {
+        if inner.opts().use_direct_reads {
             factor *= 1.05;
         }
         factor *= inner.env.memory().penalty_factor();
@@ -1547,8 +1605,8 @@ impl Db {
                 if state.running_compactions == 0
                     && state.running_flushes == 0
                     && state.imm.is_empty()
-                    && (inner.opts.disable_auto_compactions
-                        || pick_compaction(&inner.opts, &state.version).is_none())
+                    && (inner.opts().disable_auto_compactions
+                        || pick_compaction(&inner.opts(), &state.version).is_none())
                 {
                     return Ok(());
                 }
@@ -1562,7 +1620,7 @@ impl Db {
             inner.pump_events(&mut state, now)?;
             inner.maybe_schedule_compaction(&mut state, now)?;
             if state.running_compactions == 0 && state.running_flushes == 0 {
-                let quiet = pick_compaction(&inner.opts, &state.version).is_none();
+                let quiet = pick_compaction(&inner.opts(), &state.version).is_none();
                 if quiet {
                     return Ok(());
                 }
@@ -1691,7 +1749,7 @@ impl Db {
     pub fn write_regime(&self) -> WriteRegime {
         let inner = &*self.inner;
         let state = inner.state.lock();
-        inner.controller.regime(&inner.pressure(&state))
+        WriteController::from_options(&inner.opts()).regime(&inner.pressure(&state))
     }
 
     /// Current statistics snapshot.
@@ -1802,11 +1860,11 @@ impl Db {
         // -- Compaction Stats -------------------------------------------
         let per_level = {
             let state = inner.state.lock();
-            let targets = level_targets(&inner.opts, &state.version);
+            let targets = level_targets(&inner.opts(), &state.version);
             state.version.compaction_stats(
                 &inner.stats.level_io(),
                 &targets,
-                inner.opts.level0_file_num_compaction_trigger.max(1) as usize,
+                inner.opts().level0_file_num_compaction_trigger.max(1) as usize,
             )
         };
         let _ = writeln!(out, "\n** Compaction Stats [default] **");
@@ -1861,6 +1919,17 @@ impl Db {
                 h.mean.as_micros_f64(),
                 h.stddev.as_micros_f64(),
             );
+        }
+
+        // -- Live options -----------------------------------------------
+        // Appended last so existing dump parsers are undisturbed. Lists
+        // every option whose in-force value differs from the value the
+        // database was opened with.
+        let opts = inner.opts();
+        let _ = writeln!(out, "\n** Live options **");
+        let _ = writeln!(out, "options_changed: {}", t.get(Ticker::OptionsChanged));
+        for (name, opened, live) in inner.opened_opts.diff(&opts) {
+            let _ = writeln!(out, "  {name}: {live} (opened: {opened})");
         }
         out
     }
@@ -2029,6 +2098,13 @@ impl DbState {
 }
 
 impl DbInner {
+    /// One consistent snapshot of the live options. Take exactly one
+    /// snapshot per logical decision: fields read from the same `Arc`
+    /// can never be torn by a concurrent [`Db::set_options`].
+    fn opts(&self) -> Arc<Options> {
+        Arc::clone(&self.opts.read())
+    }
+
     /// Records the current write regime and fires
     /// `on_stall_conditions_changed` exactly once per transition.
     fn note_regime(&self, current: WriteRegime) {
@@ -2060,12 +2136,13 @@ impl DbInner {
     }
 
     fn table_config(&self) -> TableConfig {
+        let opts = self.opts();
         TableConfig {
-            block_size: self.opts.block_size as usize,
-            restart_interval: self.opts.block_restart_interval.max(1) as usize,
-            compression: self.opts.compression,
-            bloom_bits_per_key: if self.opts.whole_key_filtering {
-                self.opts.bloom_filter_bits_per_key
+            block_size: opts.block_size as usize,
+            restart_interval: opts.block_restart_interval.max(1) as usize,
+            compression: opts.compression,
+            bloom_bits_per_key: if opts.whole_key_filtering {
+                opts.bloom_filter_bits_per_key
             } else {
                 0.0
             },
@@ -2073,9 +2150,10 @@ impl DbInner {
     }
 
     fn bottom_table_config(&self) -> TableConfig {
+        let opts = self.opts();
         let mut c = self.table_config();
-        c.compression = self.opts.effective_bottommost_compression();
-        if self.opts.optimize_filters_for_hits {
+        c.compression = opts.effective_bottommost_compression();
+        if opts.optimize_filters_for_hits {
             c.bloom_bits_per_key = 0.0;
         }
         c
@@ -2096,7 +2174,7 @@ impl DbInner {
             // else's back, so one hot shard slows all writers instead of
             // racing ahead of the shared background budget.
             let mut local = pending;
-            let limit = self.opts.shard_bytes_soft_limit;
+            let limit = self.opts().shard_bytes_soft_limit;
             if limit > 0 {
                 local = local.saturating_add(state.version.total_bytes().saturating_sub(limit));
             }
@@ -2175,7 +2253,7 @@ impl DbInner {
     fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
         let old = {
             let mut guard = state.mem.write();
-            std::mem::replace(&mut *guard, MemTable::new(memtable_bloom_bytes(&self.opts)))
+            std::mem::replace(&mut *guard, MemTable::new(memtable_bloom_bytes(&self.opts())))
         };
         if old.is_empty() {
             return Ok(());
@@ -2188,7 +2266,7 @@ impl DbInner {
         });
 
         // New WAL file for the new memtable generation.
-        if !self.opts.disable_wal {
+        if !self.opts().disable_wal {
             let wal_number = state.next_file;
             state.next_file += 1;
             state.wal = Some(WalWriter::new(self.vfs.create(&wal_file_name(wal_number))?));
@@ -2229,7 +2307,7 @@ impl DbInner {
         // group, and keep the database alive. Anything else is fatal —
         // later appends after a torn record would be silently dropped by
         // recovery.
-        if !self.opts.disable_wal {
+        if !self.opts().disable_wal {
             let records: Vec<&[u8]> = group.iter().map(|(_, p)| p.record.as_slice()).collect();
             let wal = state.wal.as_mut().expect("wal enabled");
             match wal.add_records(&records) {
@@ -2250,7 +2328,7 @@ impl DbInner {
             }
         }
 
-        if self.opts.enable_pipelined_write {
+        if self.opts().enable_pipelined_write {
             // Pipelined: entries become visible before the sync returns
             // (visibility before durability, as in RocksDB).
             self.apply_group_to_memtable(&state, group);
@@ -2267,10 +2345,10 @@ impl DbInner {
         // Memtable switch triggers (mirrors the sim write path).
         let mem_bytes = state.mem.read().approximate_memory_usage() as u64;
         let wal_total: u64 = state.wal.as_ref().map(|w| w.bytes_written()).unwrap_or(0);
-        let db_buffer_full = self.opts.db_write_buffer_size > 0
-            && mem_bytes + state.imm_bytes() > self.opts.db_write_buffer_size;
-        if mem_bytes >= self.opts.write_buffer_size
-            || wal_total >= self.opts.effective_max_total_wal_size()
+        let db_buffer_full = self.opts().db_write_buffer_size > 0
+            && mem_bytes + state.imm_bytes() > self.opts().db_write_buffer_size;
+        if mem_bytes >= self.opts().write_buffer_size
+            || wal_total >= self.opts().effective_max_total_wal_size()
             || db_buffer_full
         {
             if let Err(e) = self.switch_memtable(&mut state) {
@@ -2298,7 +2376,10 @@ impl DbInner {
     ) -> Result<()> {
         let mut stopped_for = Duration::ZERO;
         loop {
-            let regime = self.controller.regime(&self.pressure(state));
+            // Rebuilt per iteration so a live change to the stall
+            // thresholds or delayed_write_rate takes effect mid-stall.
+            let controller = WriteController::from_options(&self.opts());
+            let regime = controller.regime(&self.pressure(state));
             self.note_regime(regime);
             match regime {
                 WriteRegime::Normal => return Ok(()),
@@ -2306,7 +2387,7 @@ impl DbInner {
                     self.stats.tickers().inc(Ticker::WriteSlowdowns);
                     rt.bg.kick();
                     let delay = Duration::from_nanos(
-                        self.controller.delay_for(group_bytes).as_nanos(),
+                        controller.delay_for(group_bytes).as_nanos(),
                     )
                     .min(Duration::from_millis(100));
                     let start = std::time::Instant::now();
@@ -2337,10 +2418,10 @@ impl DbInner {
     /// re-driven a bounded number of times; a persistent failure is
     /// fatal: the writes were already acknowledged as appended.
     fn real_sync_wal(&self, rt: &Runtime, state: &mut DbState, group_sync: bool) -> Result<()> {
-        if self.opts.disable_wal {
+        if self.opts().disable_wal {
             return Ok(());
         }
-        let per_sync = self.opts.wal_bytes_per_sync;
+        let per_sync = self.opts().wal_bytes_per_sync;
         let wal = state.wal.as_mut().expect("wal enabled");
         if group_sync || (per_sync > 0 && wal.bytes_since_sync() >= per_sync) {
             let mut attempts = 0u32;
@@ -2454,17 +2535,17 @@ impl DbInner {
 
     /// Whether a worker could claim a job right now (used by idle waits).
     fn has_claimable_work(&self, state: &DbState) -> bool {
-        if state.running_flushes < self.opts.effective_max_flushes() {
-            let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+        if state.running_flushes < self.opts().effective_max_flushes() {
+            let min_merge = self.opts().min_write_buffer_number_to_merge.max(1) as usize;
             let waiting = state.imm.iter().filter(|e| !e.flushing).count();
-            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            let forced = state.imm.len() + 1 > self.opts().max_write_buffer_number as usize;
             if waiting > 0 && (waiting >= min_merge || forced) {
                 return true;
             }
         }
-        !self.opts.disable_auto_compactions
-            && state.running_compactions < self.opts.effective_max_compactions()
-            && pick_compaction(&self.opts, &state.version).is_some()
+        !self.opts().disable_auto_compactions
+            && state.running_compactions < self.opts().effective_max_compactions()
+            && pick_compaction(&self.opts(), &state.version).is_some()
     }
 
     /// Claims one job under the state lock: flush first (it relieves
@@ -2472,8 +2553,8 @@ impl DbInner {
     /// are marked (flushing flags / `being_compacted`) so concurrent
     /// workers cannot double-claim them.
     fn real_claim_job(&self, state: &mut DbState) -> Option<BgJob> {
-        if state.running_flushes < self.opts.effective_max_flushes() {
-            let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+        if state.running_flushes < self.opts().effective_max_flushes() {
+            let min_merge = self.opts().min_write_buffer_number_to_merge.max(1) as usize;
             let waiting: Vec<usize> = state
                 .imm
                 .iter()
@@ -2481,7 +2562,7 @@ impl DbInner {
                 .filter(|(_, e)| !e.flushing)
                 .map(|(i, _)| i)
                 .collect();
-            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            let forced = state.imm.len() + 1 > self.opts().max_write_buffer_number as usize;
             if !waiting.is_empty() && (waiting.len() >= min_merge || forced) {
                 let take: Vec<usize> = waiting.into_iter().take(min_merge.max(1)).collect();
                 let mems: Vec<Arc<MemTable>> =
@@ -2494,10 +2575,10 @@ impl DbInner {
                 return Some(BgJob::Flush { file_number, mems });
             }
         }
-        if !self.opts.disable_auto_compactions
-            && state.running_compactions < self.opts.effective_max_compactions()
+        if !self.opts().disable_auto_compactions
+            && state.running_compactions < self.opts().effective_max_compactions()
         {
-            match pick_compaction(&self.opts, &state.version)? {
+            match pick_compaction(&self.opts(), &state.version)? {
                 CompactionPick::Drop { files, .. } => {
                     for f in &files {
                         f.set_being_compacted(true);
@@ -2525,8 +2606,8 @@ impl DbInner {
         state.running_compactions += 1;
         let output_level = c.output_level;
         let bottommost = crate::compaction::can_drop_tombstones(&state.version, &c);
-        let target_file_size = self.opts.target_file_size_base.max(64 << 10)
-            * (self.opts.target_file_size_multiplier.max(1) as u64)
+        let target_file_size = self.opts().target_file_size_base.max(64 << 10)
+            * (self.opts().target_file_size_multiplier.max(1) as u64)
                 .pow(output_level.saturating_sub(1) as u32);
         let config = if bottommost {
             self.bottom_table_config()
@@ -2611,7 +2692,7 @@ impl DbInner {
             }
         });
         state.running_flushes -= 1;
-        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts(), &state.version);
         self.account_memory(&state);
         self.sweep_obsolete(&mut state);
         drop(state);
@@ -2699,7 +2780,7 @@ impl DbInner {
             state.obsolete_files.push(Arc::clone(f));
         }
         state.running_compactions -= 1;
-        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts(), &state.version);
         self.sweep_obsolete(&mut state);
         drop(state);
         self.notify_compaction_completed(&CompactionJobInfo {
@@ -2759,9 +2840,9 @@ impl DbInner {
     }
 
     fn maybe_schedule_flush(&self, state: &mut DbState, now: SimTime) -> Result<()> {
-        let min_merge = self.opts.min_write_buffer_number_to_merge.max(1) as usize;
+        let min_merge = self.opts().min_write_buffer_number_to_merge.max(1) as usize;
         loop {
-            if state.running_flushes >= self.opts.effective_max_flushes() {
+            if state.running_flushes >= self.opts().effective_max_flushes() {
                 return Ok(());
             }
             let waiting: Vec<usize> = state
@@ -2773,7 +2854,7 @@ impl DbInner {
                 .collect();
             // Flush when enough memtables accumulated, or when the write
             // path is blocked on memtable count (can't wait for more).
-            let forced = state.imm.len() + 1 > self.opts.max_write_buffer_number as usize;
+            let forced = state.imm.len() + 1 > self.opts().max_write_buffer_number as usize;
             if waiting.is_empty() || (waiting.len() < min_merge && !forced) {
                 return Ok(());
             }
@@ -2810,9 +2891,9 @@ impl DbInner {
             let slot = self.env.cpu().run(now, cpu_cost);
             let io_done = self.submit_background_write(slot.start, finished.file_size);
             let mut end = slot.end.max(io_done);
-            if self.opts.rate_limiter_bytes_per_sec > 0 {
+            if self.opts().rate_limiter_bytes_per_sec > 0 {
                 let min_dur = SimDuration::from_secs_f64(
-                    finished.file_size as f64 / self.opts.rate_limiter_bytes_per_sec as f64,
+                    finished.file_size as f64 / self.opts().rate_limiter_bytes_per_sec as f64,
                 );
                 end = end.max(slot.start + min_dur);
             }
@@ -2841,8 +2922,8 @@ impl DbInner {
     /// Submits a background sequential write in `bytes_per_sync`-sized
     /// chunks (or one OS burst) and returns the last completion.
     fn submit_background_write(&self, start: SimTime, total: u64) -> SimTime {
-        let chunk = if self.opts.bytes_per_sync > 0 {
-            self.opts.bytes_per_sync
+        let chunk = if self.opts().bytes_per_sync > 0 {
+            self.opts().bytes_per_sync
         } else {
             self.cost.os_writeback_burst
         }
@@ -2861,11 +2942,11 @@ impl DbInner {
     }
 
     fn maybe_schedule_compaction(&self, state: &mut DbState, now: SimTime) -> Result<()> {
-        if self.opts.disable_auto_compactions {
+        if self.opts().disable_auto_compactions {
             return Ok(());
         }
-        while state.running_compactions < self.opts.effective_max_compactions() {
-            let Some(pick) = pick_compaction(&self.opts, &state.version) else {
+        while state.running_compactions < self.opts().effective_max_compactions() {
+            let Some(pick) = pick_compaction(&self.opts(), &state.version) else {
                 return Ok(());
             };
             match pick {
@@ -2900,8 +2981,8 @@ impl DbInner {
         }
         let output_level = c.output_level;
         let bottommost = crate::compaction::can_drop_tombstones(&state.version, &c);
-        let target = self.opts.target_file_size_base.max(64 << 10)
-            * (self.opts.target_file_size_multiplier.max(1) as u64)
+        let target = self.opts().target_file_size_base.max(64 << 10)
+            * (self.opts().target_file_size_multiplier.max(1) as u64)
                 .pow(output_level.saturating_sub(1) as u32);
         let config = if bottommost {
             self.bottom_table_config()
@@ -2941,14 +3022,14 @@ impl DbInner {
 
         // Cost model: chunked reads (readahead), chunked
         // writes, merge CPU split across subcompactions.
-        let readahead = self.opts.compaction_readahead_size.max(64 << 10);
+        let readahead = self.opts().compaction_readahead_size.max(64 << 10);
         let rotational = self.env.device().model().class.is_rotational();
         let read_pattern = if rotational {
             AccessPattern::Random // one seek per readahead chunk
         } else {
             AccessPattern::Sequential
         };
-        let subs = (self.opts.max_subcompactions.max(1) as usize)
+        let subs = (self.opts().max_subcompactions.max(1) as usize)
             .min(files.len())
             .max(1);
         let cpu_total = SimDuration::from_secs_f64(
@@ -2957,8 +3038,8 @@ impl DbInner {
             output.entries_read
                 * self.cost.compaction_entry_cpu.as_nanos(),
         ) + output.compression_cpu
-            + if self.opts.compression != crate::options::CompressionType::None {
-                decompress_cpu_cost(self.opts.compression, output.bytes_read as usize)
+            + if self.opts().compression != crate::options::CompressionType::None {
+                decompress_cpu_cost(self.opts().compression, output.bytes_read as usize)
             } else {
                 SimDuration::ZERO
             };
@@ -2983,10 +3064,10 @@ impl DbInner {
         // Writes.
         let write_done = self.submit_background_write(start, output.bytes_written);
         let mut end = cpu_end.max(io_end).max(write_done);
-        if self.opts.rate_limiter_bytes_per_sec > 0 {
+        if self.opts().rate_limiter_bytes_per_sec > 0 {
             let min_dur = SimDuration::from_secs_f64(
                 (output.bytes_read + output.bytes_written) as f64
-                    / self.opts.rate_limiter_bytes_per_sec as f64,
+                    / self.opts().rate_limiter_bytes_per_sec as f64,
             );
             end = end.max(start + min_dur);
         }
@@ -3114,7 +3195,7 @@ impl DbInner {
             }
         });
         state.running_flushes -= 1;
-        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts(), &state.version);
         self.account_memory(state);
         self.notify_flush_completed(&FlushJobInfo {
             file_number,
@@ -3168,7 +3249,7 @@ impl DbInner {
             self.stats.tickers().inc(Ticker::FilesDeleted);
         }
         state.running_compactions -= 1;
-        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts, &state.version);
+        state.pending_compaction_bytes = pending_compaction_bytes(&self.opts(), &state.version);
         self.notify_compaction_completed(&CompactionJobInfo {
             output_level,
             input_files: inputs.len(),
@@ -3230,7 +3311,7 @@ impl DbInner {
             // a re-read when it is gone. The re-read is accounted like
             // the cold open below: it is the same index+filter I/O, just
             // triggered by block-cache pressure instead of a first open.
-            if self.opts.cache_index_and_filter_blocks {
+            if self.opts().cache_index_and_filter_blocks {
                 if let Some(cache) = &self.block_cache {
                     let key = BlockKey {
                         file: self.cache_file_id(file.number),
@@ -3270,7 +3351,7 @@ impl DbInner {
         self.stats
             .record(HistogramKind::SstReadMicros, done.saturating_since(now));
         let reader = Arc::new(reader);
-        if self.opts.cache_index_and_filter_blocks {
+        if self.opts().cache_index_and_filter_blocks {
             // `fill_cache` governs block-cache population for reads, and
             // the resident metadata lives in the block cache here — so a
             // no-fill read leaves it out (the next open re-reads it),
@@ -3304,7 +3385,7 @@ impl DbInner {
     /// deletion, or same-file replacement). Reservations are only taken
     /// when metadata lives outside the block cache.
     fn release_table_readers<I: IntoIterator<Item = Arc<TableReader>>>(&self, readers: I) {
-        if self.opts.cache_index_and_filter_blocks {
+        if self.opts().cache_index_and_filter_blocks {
             return;
         }
         for r in readers {
@@ -3367,7 +3448,7 @@ impl DbInner {
         self.stats
             .record(HistogramKind::SstReadMicros, done.saturating_since(submit_at));
         if fetch.was_compressed {
-            *cpu += decompress_cpu_cost(self.opts.compression, fetch.data.len());
+            *cpu += decompress_cpu_cost(self.opts().compression, fetch.data.len());
         }
         let data = Arc::new(fetch.data);
         if let Some(cache) = &self.block_cache {

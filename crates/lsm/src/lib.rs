@@ -62,7 +62,9 @@ pub use db::{CostModel, Db, DbBuilder, DbStats, ReadOptions, ScanResult, WriteOp
 pub use error::{Error, ErrorKind, Result};
 pub use shard::{KvEngine, ShardedDb, ShardedDbBuilder};
 pub use fault::{FaultConfig, FaultInjectionVfs, TearStyle};
-pub use listener::{CompactionJobInfo, EventListener, FlushJobInfo, StallConditionsChanged};
+pub use listener::{
+    CompactionJobInfo, EventListener, FlushJobInfo, OptionsChangedInfo, StallConditionsChanged,
+};
 pub use memtable::{MemTable, MemTableGet};
 pub use stats::{
     Histogram, HistogramKind, HistogramSnapshot, LevelIo, Statistics, Ticker, TickerSnapshot,

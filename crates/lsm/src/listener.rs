@@ -53,6 +53,14 @@ pub struct StallConditionsChanged {
     pub current: WriteRegime,
 }
 
+/// Details of a committed live options change ([`crate::Db::set_options`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptionsChangedInfo {
+    /// `(name, from, to)` canonical triples, one per option whose value
+    /// actually changed (no-op pairs in the batch are omitted).
+    pub changes: Vec<(String, String, String)>,
+}
+
 /// Callbacks fired by the engine on background-work and stall
 /// transitions. All methods have empty default bodies, so implementors
 /// override only what they observe.
@@ -69,4 +77,9 @@ pub trait EventListener: Send + Sync {
     /// regime value), including the transition back to
     /// [`WriteRegime::Normal`] when pressure clears.
     fn on_stall_conditions_changed(&self, _info: &StallConditionsChanged) {}
+
+    /// A `set_options` batch committed: the listed options now apply to
+    /// all subsequent operations. Fires once per committed batch, after
+    /// the new values are visible, while the state lock is still held.
+    fn on_options_changed(&self, _info: &OptionsChangedInfo) {}
 }

@@ -357,7 +357,8 @@ fn build_registry() -> Vec<OptionMeta> {
             "Bypass the OS page cache for background I/O"),
         opt_size!(compaction_readahead_size, Db, (0.0, (256u64 << 20) as f64), true, true,
             "Read compaction inputs in sequential chunks of this size (critical on HDDs)"),
-        opt_int!(max_open_files, Db, (-1.0, 1_000_000.0), true, true,
+        // Not mutable_online: the table-reader cache is sized once at open.
+        opt_int!(max_open_files, Db, (-1.0, 1_000_000.0), false, true,
             "Table files kept open; -1 = all (avoids reopen cost on reads)"),
         opt_size!(max_total_wal_size, Db, (0.0, TIB), true, true,
             "Force memtable switch once live WALs exceed this (0 = 4x write buffers)"),
@@ -490,7 +491,9 @@ fn build_registry() -> Vec<OptionMeta> {
             "Uncompressed data block size; smaller favours point reads, larger favours scans"),
         opt_int!(block_restart_interval, Table, (1.0, 256.0), false, true,
             "Keys between restart points inside a block"),
-        opt_double!(bloom_filter_bits_per_key, Table, (0.0, 40.0), false, true,
+        // Mutable online: the filter policy is read per flush/compaction, so
+        // a live change takes effect on every table built afterwards.
+        opt_double!(bloom_filter_bits_per_key, Table, (0.0, 40.0), true, true,
             "Bloom filter bits per key (0 disables; ~10 gives ~1% false positives)"),
         opt_bool!(whole_key_filtering, Table, false, false, true,
             "Add whole keys to the bloom filter"),
@@ -581,35 +584,153 @@ pub fn find_deprecated(name: &str) -> Option<&'static DeprecatedOption> {
         .find(|d| d.name.eq_ignore_ascii_case(needle))
 }
 
+/// Resolves a name (or alias, or remappable deprecated name) to its
+/// registry entry.
+fn resolve_meta(name: &str) -> Result<&'static OptionMeta> {
+    if let Some(meta) = find_option(name) {
+        return Ok(meta);
+    }
+    if let Some(dep) = find_deprecated(name) {
+        if let Some(target) = dep.remap_to {
+            return resolve_meta(target);
+        }
+        return Err(Error::invalid_argument(format!(
+            "option {name} is deprecated: {}",
+            dep.note
+        )));
+    }
+    Err(Error::invalid_argument(format!("unknown option: {name}")))
+}
+
+/// Outcome of [`Options::apply_live`].
+///
+/// All names and values are canonical (aliases resolved, size literals
+/// rendered as plain byte counts), so entries compare cleanly against
+/// [`Options::get_by_name`] output and against other outcomes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveApplyOutcome {
+    /// `(name, from, to)` for every option whose value actually changed.
+    pub applied: Vec<(String, String, String)>,
+    /// `(name, value)` pairs that parsed to the value already in force.
+    pub unchanged: Vec<(String, String)>,
+    /// Names rejected because the engine cannot honour them without a
+    /// reopen (`mutable_online == false`). When non-empty, **nothing**
+    /// from the batch was committed.
+    pub rejected_immutable: Vec<String>,
+}
+
+impl LiveApplyOutcome {
+    /// True when the batch committed (no immutable rejections).
+    pub fn committed(&self) -> bool {
+        self.rejected_immutable.is_empty()
+    }
+}
+
 impl Options {
     /// Reads an option's current value as its canonical string.
     pub fn get_by_name(&self, name: &str) -> Option<String> {
         find_option(name).map(|m| (m.get)(self))
     }
 
-    /// Parses and stores an option value by name.
+    /// Parses and stores an option value by name — the
+    /// *construction-time* setter: it accepts every registered option,
+    /// including ones the engine cannot change after open. For changes
+    /// to a live database use [`Options::apply_live`].
     ///
     /// # Errors
     ///
     /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) if the option is unknown, deprecated
     /// without a remap, fails to parse, or is out of range.
     pub fn set_by_name(&mut self, name: &str, value: &str) -> Result<()> {
-        if let Some(meta) = find_option(name) {
-            return (meta.set)(self, value);
-        }
-        if let Some(dep) = find_deprecated(name) {
-            if let Some(target) = dep.remap_to {
-                return self.set_by_name(target, value);
-            }
-            return Err(Error::invalid_argument(format!(
-                "option {name} is deprecated: {}",
-                dep.note
-            )));
-        }
-        Err(Error::invalid_argument(format!("unknown option: {name}")))
+        (resolve_meta(name)?.set)(self, value)
     }
 
-    /// Lists `(name, from, to)` for every option that differs from `other`.
+    /// Applies a batch of `(name, value)` changes as a *live* update:
+    /// options that are not `mutable_online` are collected in
+    /// [`LiveApplyOutcome::rejected_immutable`] instead of being set.
+    ///
+    /// The batch is atomic: it commits only when every pair parses, the
+    /// combined result passes [`Options::validate`], and no pair named
+    /// an immutable option. Otherwise `self` is left untouched — on
+    /// `Err`, and also on `Ok` with a non-empty `rejected_immutable`
+    /// (the caller decides how severe an immutable rejection is).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) if any pair is unknown, fails to
+    /// parse, is out of range, or the combined result violates a
+    /// cross-option invariant.
+    pub fn apply_live(&mut self, changes: &[(&str, &str)]) -> Result<LiveApplyOutcome> {
+        let mut next = self.clone();
+        let mut out = LiveApplyOutcome::default();
+        for (name, value) in changes {
+            let meta = resolve_meta(name)?;
+            if !meta.mutable_online {
+                if !out.rejected_immutable.iter().any(|n| n == meta.name) {
+                    out.rejected_immutable.push(meta.name.to_string());
+                }
+                continue;
+            }
+            let before = (meta.get)(&next);
+            (meta.set)(&mut next, value)?;
+            let after = (meta.get)(&next);
+            if before == after {
+                out.unchanged.push((meta.name.to_string(), after));
+            } else {
+                out.applied.push((meta.name.to_string(), before, after));
+            }
+        }
+        if !out.rejected_immutable.is_empty() {
+            return Ok(out);
+        }
+        next.validate()?;
+        *self = next;
+        Ok(out)
+    }
+
+    /// Normalizes a proposed `(name, value)` pair through the registry:
+    /// resolves aliases and deprecated remaps to the canonical name and
+    /// re-renders the parsed value canonically (`"64MB"` →
+    /// `"67108864"`, `"kZSTDCompression"` → `"zstd"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) if the name is unknown or the value
+    /// fails to parse or is out of range.
+    pub fn normalize_change(name: &str, value: &str) -> Result<(String, String)> {
+        let meta = resolve_meta(name)?;
+        let mut scratch = Options::default();
+        (meta.set)(&mut scratch, value)?;
+        Ok((meta.name.to_string(), (meta.get)(&scratch)))
+    }
+
+    /// Diffs proposed raw `(name, value)` pairs against this
+    /// configuration, returning `(name, current, proposed)` only for
+    /// pairs that would actually change a value. Both sides are
+    /// normalized through the registry first, so `("cache_size",
+    /// "8MB")` against the default `block_cache_size = 8388608` is
+    /// correctly reported as a no-op rather than a spurious diff.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidArgument`](crate::ErrorKind) if any pair is unknown or unparseable.
+    pub fn diff_changes(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        let mut out = Vec::new();
+        for (name, value) in changes {
+            let (canon_name, proposed) = Self::normalize_change(name, value)?;
+            let current = self
+                .get_by_name(&canon_name)
+                .expect("normalize_change returned a registered name");
+            if current != proposed {
+                out.push((canon_name, current, proposed));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lists `(name, from, to)` for every option that differs from
+    /// `other`. Both sides are read through the registry's canonical
+    /// getters, so equivalent spellings never produce spurious entries.
     pub fn diff(&self, other: &Options) -> Vec<(String, String, String)> {
         all_options()
             .iter()
@@ -740,6 +861,115 @@ mod tests {
         assert!(diff.iter().any(|(n, from, to)| n == "write_buffer_size"
             && from == "67108864"
             && to == "33554432"));
+    }
+
+    #[test]
+    fn diff_changes_normalizes_aliases_and_size_literals() {
+        // Regression: comparing proposed raw strings against rendered
+        // current values reported spurious diffs — "64MB" vs the
+        // canonical "67108864", and "cache_size" never matching the
+        // canonical block_cache_size entry. Both must normalize through
+        // the registry before comparing.
+        let opts = Options::default();
+        // Equivalent size literal for the default write_buffer_size.
+        assert_eq!(opts.diff_changes(&[("write_buffer_size", "64MB")]).unwrap(), vec![]);
+        // Alias + equivalent literal for the default block_cache_size.
+        assert_eq!(opts.diff_changes(&[("cache_size", "8MB")]).unwrap(), vec![]);
+        // RocksDB-style enum spelling of the default compression.
+        assert_eq!(opts.diff_changes(&[("compression", "kSnappyCompression")]).unwrap(), vec![]);
+        // A real change still shows, with both sides canonical.
+        let diff = opts
+            .diff_changes(&[("cache_size", "128MB"), ("write_buffer_size", "64MB")])
+            .unwrap();
+        assert_eq!(
+            diff,
+            vec![("block_cache_size".to_string(), "8388608".to_string(), "134217728".to_string())]
+        );
+        // Unknown names are errors, not silent no-ops.
+        assert!(opts.diff_changes(&[("write_buffer_magic", "1")]).is_err());
+    }
+
+    #[test]
+    fn normalize_change_canonicalizes() {
+        assert_eq!(
+            Options::normalize_change("cache_size", "64 MiB").unwrap(),
+            ("block_cache_size".to_string(), "67108864".to_string())
+        );
+        assert_eq!(
+            Options::normalize_change("base_background_compactions", "4").unwrap(),
+            ("max_background_compactions".to_string(), "4".to_string())
+        );
+        assert!(Options::normalize_change("write_buffer_size", "tiny").is_err());
+        assert!(Options::normalize_change("max_background_jobs", "9999").is_err());
+    }
+
+    #[test]
+    fn apply_live_applies_mutable_batch_atomically() {
+        let mut opts = Options::default();
+        let out = opts
+            .apply_live(&[
+                ("write_buffer_size", "32MB"),
+                ("level0_slowdown_writes_trigger", "24"),
+                ("compression", "snappy"), // default: a no-op
+            ])
+            .unwrap();
+        assert!(out.committed());
+        assert_eq!(opts.write_buffer_size, 32 << 20);
+        assert_eq!(opts.level0_slowdown_writes_trigger, 24);
+        assert_eq!(out.applied.len(), 2);
+        assert_eq!(out.unchanged, vec![("compression".to_string(), "snappy".to_string())]);
+        assert!(out.applied.iter().any(|(n, from, to)| n == "write_buffer_size"
+            && from == "67108864"
+            && to == "33554432"));
+    }
+
+    #[test]
+    fn apply_live_rejects_immutable_without_committing() {
+        let mut opts = Options::default();
+        let out = opts
+            .apply_live(&[
+                ("write_buffer_size", "32MB"),
+                ("num_shards", "4"),
+                ("cache_size", "128MB"), // alias of immutable block_cache_size
+            ])
+            .unwrap();
+        assert!(!out.committed());
+        assert_eq!(
+            out.rejected_immutable,
+            vec!["num_shards".to_string(), "block_cache_size".to_string()]
+        );
+        // Nothing committed — not even the mutable pair.
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn apply_live_aborts_on_parse_range_and_validate_errors() {
+        let base = Options::default();
+
+        let mut opts = base.clone();
+        assert!(opts.apply_live(&[("write_buffer_size", "32MB"), ("compression", "brotli")]).is_err());
+        assert_eq!(opts, base);
+
+        let mut opts = base.clone();
+        assert!(opts.apply_live(&[("max_background_jobs", "9999")]).is_err());
+        assert_eq!(opts, base);
+
+        // Cross-option invariant: slowdown trigger above the stop trigger.
+        let mut opts = base.clone();
+        let err = opts.apply_live(&[("level0_slowdown_writes_trigger", "99")]).unwrap_err();
+        assert!(err.to_string().contains("level0_stop_writes_trigger"), "{err}");
+        assert_eq!(opts, base);
+    }
+
+    #[test]
+    fn mutability_flags_match_engine_behavior() {
+        // The table-reader cache is sized once at open; bloom bits are
+        // read every time a table is built.
+        assert!(!find_option("max_open_files").unwrap().mutable_online);
+        assert!(find_option("bloom_filter_bits_per_key").unwrap().mutable_online);
+        assert!(!find_option("block_cache_size").unwrap().mutable_online);
+        assert!(find_option("write_buffer_size").unwrap().mutable_online);
+        assert!(!find_option("disable_wal").unwrap().mutable_online);
     }
 
     #[test]

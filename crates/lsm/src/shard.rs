@@ -516,6 +516,35 @@ impl ShardedDb {
         worst
     }
 
+    /// Applies a batch of live `(name, value)` option changes to every
+    /// shard; see [`Db::set_options`]. The batch is validated once
+    /// against shard 0's current options before any shard is touched,
+    /// so a rejected batch (immutable name, parse failure, range or
+    /// invariant violation) leaves all shards unchanged. Shards always
+    /// run identical options, so the per-shard applications commit the
+    /// same triples.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::set_options`].
+    pub fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        // Dry-run against shard 0's config: every shard shares it, so
+        // one verdict covers them all and failures commit nothing.
+        let mut probe = (*self.shards[0].options()).clone();
+        let outcome = probe.apply_live(changes)?;
+        if !outcome.committed() {
+            return Err(Error::invalid_argument(format!(
+                "cannot change immutable option(s) without reopen: {}",
+                outcome.rejected_immutable.join(", ")
+            )));
+        }
+        let mut applied = Vec::new();
+        for db in &self.shards {
+            applied = db.set_options(changes)?;
+        }
+        Ok(applied)
+    }
+
     /// Compacts every shard fully.
     ///
     /// # Errors
@@ -665,6 +694,18 @@ pub trait KvEngine: Send + Sync {
     fn write_regime(&self) -> WriteRegime {
         WriteRegime::Normal
     }
+    /// Applies a batch of live `(name, value)` option changes
+    /// atomically, returning the canonical `(name, from, to)` triples
+    /// that took effect; see [`Db::set_options`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::set_options`]. Engines without live-options support
+    /// return [`ErrorKind::NotSupported`](crate::ErrorKind).
+    fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        let _ = changes;
+        Err(Error::not_supported("this engine does not support set_options"))
+    }
 }
 
 impl KvEngine for Db {
@@ -701,6 +742,9 @@ impl KvEngine for Db {
     fn write_regime(&self) -> WriteRegime {
         Db::write_regime(self)
     }
+    fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        Db::set_options(self, changes)
+    }
 }
 
 impl KvEngine for ShardedDb {
@@ -736,6 +780,9 @@ impl KvEngine for ShardedDb {
     }
     fn write_regime(&self) -> WriteRegime {
         ShardedDb::write_regime(self)
+    }
+    fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        ShardedDb::set_options(self, changes)
     }
 }
 

@@ -44,9 +44,10 @@ pub enum Ticker {
     CompactionKeyDropped,
     MultiGetKeys,
     MultiGetBatches,
+    OptionsChanged,
 }
 
-const NUM_TICKERS: usize = 31;
+const NUM_TICKERS: usize = 32;
 
 fn ticker_index(t: Ticker) -> usize {
     t as usize
@@ -85,6 +86,7 @@ pub const TICKER_NAMES: [&str; NUM_TICKERS] = [
     "compaction_key_dropped",
     "multiget_keys",
     "multiget_batches",
+    "options_changed",
 ];
 
 /// Thread-safe ticker array.

@@ -1,0 +1,399 @@
+//! Live option reconfiguration: `Db::set_options` semantics (atomic
+//! batches, immutable rejection by name, listener + ticker + stats
+//! surfacing) and torn-read freedom under concurrent traffic, in both
+//! execution modes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hw_sim::HardwareEnv;
+use lsm_kvs::options::Options;
+use lsm_kvs::vfs::{MemVfs, StdVfs};
+use lsm_kvs::{
+    Db, EventListener, KvEngine, OptionsChangedInfo, ShardedDb, Ticker, TICKER_NAMES,
+};
+
+/// Unique scratch directory, removed on drop.
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "lsm-liveopt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir { path }
+    }
+
+    fn as_str(&self) -> String {
+        self.path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn open_sim(opts: Options) -> Db {
+    let env = HardwareEnv::builder().build_sim();
+    Db::builder(opts).env(&env).vfs(Arc::new(MemVfs::new())).open().unwrap()
+}
+
+#[test]
+fn set_options_applies_mutable_batch_without_reopen() {
+    let db = open_sim(Options::default());
+    db.put(b"k", b"v").unwrap();
+
+    let applied = db
+        .set_options(&[("max_background_jobs", "6"), ("write_buffer_size", "128MB")])
+        .unwrap();
+    assert_eq!(
+        applied,
+        vec![
+            ("max_background_jobs".to_string(), "2".to_string(), "6".to_string()),
+            ("write_buffer_size".to_string(), "67108864".to_string(), "134217728".to_string()),
+        ]
+    );
+
+    let live = db.options();
+    assert_eq!(live.max_background_jobs, 6);
+    assert_eq!(live.write_buffer_size, 128 << 20);
+    // Data written before the change is still there — no reopen happened.
+    assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+}
+
+#[test]
+fn set_options_rejects_immutable_by_name_without_committing() {
+    let db = open_sim(Options::default());
+    let before = db.options();
+
+    let err = db
+        .set_options(&[
+            ("max_background_jobs", "6"),       // mutable, but must not land
+            ("num_shards", "4"),                // immutable
+            ("block_cache_size", "1GB"),        // immutable (alias of cache_size)
+        ])
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("num_shards"), "names the option: {msg}");
+    assert!(msg.contains("block_cache_size"), "names the option: {msg}");
+    assert!(msg.contains("reopen"), "explains the remedy: {msg}");
+
+    // Nothing committed, not even the mutable pair.
+    let after = db.options();
+    assert_eq!(after.max_background_jobs, before.max_background_jobs);
+    assert_eq!(after.block_cache_size, before.block_cache_size);
+    assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), 0);
+}
+
+#[test]
+fn set_options_aborts_atomically_on_bad_value() {
+    let db = open_sim(Options::default());
+    let before = db.options();
+
+    // Second pair fails range/cross validation: stop < slowdown.
+    let err = db
+        .set_options(&[
+            ("level0_slowdown_writes_trigger", "30"),
+            ("level0_stop_writes_trigger", "10"),
+        ])
+        .unwrap_err();
+    assert!(err.to_string().contains("level0"), "{err}");
+
+    let after = db.options();
+    assert_eq!(
+        after.level0_slowdown_writes_trigger,
+        before.level0_slowdown_writes_trigger
+    );
+    assert_eq!(after.level0_stop_writes_trigger, before.level0_stop_writes_trigger);
+    assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), 0);
+}
+
+#[test]
+fn set_options_noop_pairs_apply_nothing() {
+    let db = open_sim(Options::default());
+    // Equivalent literal for the default: alias + size suffix.
+    let applied = db.set_options(&[("write_buffer_size", "64MB")]).unwrap();
+    assert!(applied.is_empty());
+    assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), 0);
+}
+
+#[derive(Default)]
+struct RecordingListener {
+    batches: Mutex<Vec<Vec<(String, String, String)>>>,
+}
+
+impl EventListener for RecordingListener {
+    fn on_options_changed(&self, info: &OptionsChangedInfo) {
+        self.batches.lock().unwrap().push(info.changes.clone());
+    }
+}
+
+#[test]
+fn listener_and_ticker_fire_once_per_committed_batch() {
+    let listener = Arc::new(RecordingListener::default());
+    let env = HardwareEnv::builder().build_sim();
+    let db = Db::builder(Options::default())
+        .env(&env)
+        .vfs(Arc::new(MemVfs::new()))
+        .listener(listener.clone())
+        .open()
+        .unwrap();
+
+    db.set_options(&[("max_background_jobs", "4")]).unwrap();
+    db.set_options(&[("write_buffer_size", "32MB"), ("delayed_write_rate", "8MB")])
+        .unwrap();
+    // Rejected batch must not notify.
+    db.set_options(&[("num_shards", "2")]).unwrap_err();
+    // No-op batch must not notify.
+    db.set_options(&[("max_background_jobs", "4")]).unwrap();
+
+    let batches = listener.batches.lock().unwrap();
+    assert_eq!(batches.len(), 2);
+    assert_eq!(batches[0].len(), 1);
+    assert_eq!(batches[0][0].0, "max_background_jobs");
+    assert_eq!(batches[1].len(), 2);
+    assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), 2);
+    assert!(TICKER_NAMES.contains(&"options_changed"));
+}
+
+#[test]
+fn stats_text_reports_live_options_section() {
+    let db = open_sim(Options::default());
+    let text = db.stats_text();
+    assert!(text.contains("** Live options **"), "section always present:\n{text}");
+    assert!(text.contains("options_changed: 0"), "{text}");
+
+    db.set_options(&[("max_background_jobs", "6"), ("write_buffer_size", "128MB")])
+        .unwrap();
+    let text = db.stats_text();
+    assert!(text.contains("options_changed: 1"), "{text}");
+    assert!(
+        text.contains("max_background_jobs: 6 (opened: 2)"),
+        "live vs opened delta:\n{text}"
+    );
+    assert!(
+        text.contains("write_buffer_size: 134217728 (opened: 67108864)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn sharded_db_applies_to_every_shard_and_rejects_immutable() {
+    let env = HardwareEnv::builder().build_sim();
+    let opts = Options {
+        num_shards: 3,
+        ..Options::default()
+    };
+    let db = ShardedDb::builder(opts).env(&env).vfs(Arc::new(MemVfs::new())).open().unwrap();
+
+    let applied = db.set_options(&[("max_background_jobs", "5")]).unwrap();
+    assert_eq!(applied.len(), 1);
+    // Each shard ticked once.
+    assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), 3);
+    let text = db.stats_text();
+    assert!(text.contains("max_background_jobs: 5 (opened: 2)"), "{text}");
+
+    let err = db.set_options(&[("num_shards", "5")]).unwrap_err();
+    assert!(err.to_string().contains("num_shards"), "{err}");
+}
+
+#[test]
+fn kv_engine_default_set_options_is_not_supported() {
+    struct Dummy;
+    impl KvEngine for Dummy {
+        fn put(&self, _k: &[u8], _v: &[u8]) -> lsm_kvs::Result<()> {
+            Ok(())
+        }
+        fn delete(&self, _k: &[u8]) -> lsm_kvs::Result<()> {
+            Ok(())
+        }
+        fn get(&self, _k: &[u8]) -> lsm_kvs::Result<Option<Vec<u8>>> {
+            Ok(None)
+        }
+        fn write_opt(
+            &self,
+            _o: &lsm_kvs::WriteOptions,
+            _b: lsm_kvs::WriteBatch,
+        ) -> lsm_kvs::Result<()> {
+            Ok(())
+        }
+        fn scan(&self, _from: &[u8], _limit: usize) -> lsm_kvs::Result<lsm_kvs::ScanResult> {
+            Ok(lsm_kvs::ScanResult::new())
+        }
+        fn flush(&self) -> lsm_kvs::Result<()> {
+            Ok(())
+        }
+        fn wait_background_idle(&self) -> lsm_kvs::Result<()> {
+            Ok(())
+        }
+        fn stats(&self) -> lsm_kvs::DbStats {
+            unimplemented!("not needed")
+        }
+        fn stats_text(&self) -> String {
+            String::new()
+        }
+    }
+    let err = Dummy.set_options(&[("max_background_jobs", "4")]).unwrap_err();
+    assert!(err.to_string().contains("not support"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Torn-read freedom
+// ---------------------------------------------------------------------------
+
+/// The invariant every observer checks: the level0 trigger pair is only
+/// ever changed together (stop = slowdown + 16, the default spacing), so
+/// any snapshot showing a different spacing was torn mid-batch.
+fn assert_untorn(opts: &Options) {
+    assert_eq!(
+        opts.level0_stop_writes_trigger - opts.level0_slowdown_writes_trigger,
+        16,
+        "trigger pair observed torn: slowdown={} stop={}",
+        opts.level0_slowdown_writes_trigger,
+        opts.level0_stop_writes_trigger
+    );
+    // write_buffer_size is always a whole number of MiB in this test;
+    // a torn u64 would almost surely not be.
+    assert_eq!(opts.write_buffer_size % (1 << 20), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sim mode: interleave writes, reads, flushes, and paired
+    /// set_options batches; every snapshot between steps must honor the
+    /// pair invariant and batches must be all-or-nothing.
+    #[test]
+    fn sim_interleaving_never_tears_option_batches(
+        steps in vec((0u8..4, 1u64..32), 1..40)
+    ) {
+        let db = open_sim(Options::default());
+        assert_untorn(&db.options());
+        let mut expected_batches = 0u64;
+        for (i, (kind, n)) in steps.iter().enumerate() {
+            match kind {
+                0 => {
+                    let key = format!("k{i}");
+                    db.put(key.as_bytes(), &vec![b'v'; *n as usize]).unwrap();
+                }
+                1 => {
+                    let _ = db.get(format!("k{}", i.saturating_sub(1)).as_bytes()).unwrap();
+                }
+                2 => {
+                    db.flush().unwrap();
+                }
+                _ => {
+                    let slowdown = 8 + *n as i64;
+                    let stop = slowdown + 16;
+                    let wbs = 8 + *n; // MiB
+                    let applied = db.set_options(&[
+                        ("level0_slowdown_writes_trigger", &slowdown.to_string()),
+                        ("level0_stop_writes_trigger", &stop.to_string()),
+                        ("write_buffer_size", &format!("{wbs}MB")),
+                    ]).unwrap();
+                    if !applied.is_empty() {
+                        expected_batches += 1;
+                    }
+                }
+            }
+            assert_untorn(&db.options());
+        }
+        prop_assert_eq!(db.stats().tickers.get(Ticker::OptionsChanged), expected_batches);
+    }
+}
+
+/// Real mode: writer + reader + flusher threads run while the main
+/// thread streams paired set_options batches; a sampler thread asserts
+/// the invariant on every snapshot it takes.
+#[test]
+fn real_mode_concurrent_set_options_never_observed_torn() {
+    let dir = TempDir::new("torn");
+    let env = HardwareEnv::builder().cores(2).build_wall();
+    let db = Arc::new(
+        Db::builder(Options::default())
+            .env(&env)
+            .vfs(Arc::new(StdVfs::new(dir.as_str()).unwrap()))
+            .open()
+            .unwrap(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let samples = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::new();
+
+    {
+        let db = db.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                db.put(format!("w{i}").as_bytes(), b"payload").unwrap();
+                i += 1;
+            }
+        }));
+    }
+    {
+        let db = db.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = db.get(format!("w{i}").as_bytes()).unwrap();
+                i = (i + 7) % 1000;
+            }
+        }));
+    }
+    {
+        let db = db.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                db.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }));
+    }
+    {
+        let db = db.clone();
+        let stop = stop.clone();
+        let samples = samples.clone();
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                assert_untorn(&db.options());
+                samples.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    for round in 0..60i64 {
+        let slowdown = 10 + (round % 20);
+        let stop_trigger = slowdown + 16;
+        let wbs = 16 + (round % 48) as u64;
+        db.set_options(&[
+            ("level0_slowdown_writes_trigger", &slowdown.to_string()),
+            ("level0_stop_writes_trigger", &stop_trigger.to_string()),
+            ("write_buffer_size", &format!("{wbs}MB")),
+        ])
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(samples.load(Ordering::Relaxed) > 0, "sampler must have observed snapshots");
+    assert!(db.stats().tickers.get(Ticker::OptionsChanged) >= 1);
+    assert_untorn(&db.options());
+}

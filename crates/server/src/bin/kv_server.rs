@@ -5,6 +5,9 @@
 //!           [--cores N] [--mem-gib N] [--option name=value]...
 //!           [--options-file FILE] [--split-point KEY]...
 //! kv_server --shutdown host:port    # ask a running server to drain and exit
+//! kv_server --set-options host:port name=value[,name=value]...
+//!                                   # apply a live option batch (SetOptions RPC)
+//! kv_server --stats host:port       # print the server's stats dump
 //! ```
 //!
 //! The database opens in real-concurrency mode (wall clock, OS threads)
@@ -37,6 +40,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut options_file: Option<String> = None;
     let mut split_points: Vec<Vec<u8>> = Vec::new();
     let mut shutdown_addr: Option<String> = None;
+    let mut set_options_addr: Option<(String, String)> = None;
+    let mut stats_addr: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -60,11 +65,19 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--options-file" => options_file = Some(take(&mut i)?),
             "--split-point" => split_points.push(take(&mut i)?.into_bytes()),
             "--shutdown" => shutdown_addr = Some(take(&mut i)?),
+            "--set-options" => {
+                let addr = take(&mut i)?;
+                let batch = take(&mut i)?;
+                set_options_addr = Some((addr, batch));
+            }
+            "--stats" => stats_addr = Some(take(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "usage: kv_server --db DIR [--listen ADDR] [--shards N] [--cores N] \
                      [--mem-gib N] [--option k=v]... [--options-file f] \
-                     [--split-point KEY]...\n       kv_server --shutdown ADDR"
+                     [--split-point KEY]...\n       kv_server --shutdown ADDR\
+                     \n       kv_server --set-options ADDR k=v[,k=v]...\
+                     \n       kv_server --stats ADDR"
                 );
                 return Ok(());
             }
@@ -77,6 +90,52 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let client = RemoteDb::connect(&addr)?;
         client.shutdown_server()?;
         eprintln!("kv_server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+
+    if let Some((addr, batch)) = set_options_addr {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for item in batch.split(',').filter(|s| !s.is_empty()) {
+            let (k, v) = item
+                .split_once('=')
+                .ok_or_else(|| format!("--set-options wants k=v[,k=v]..., got {item}"))?;
+            pairs.push((k.to_string(), v.to_string()));
+        }
+        if pairs.is_empty() {
+            return Err("--set-options: empty batch".into());
+        }
+        let client = RemoteDb::connect(&addr)?;
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let acks = client.set_options_detailed(&borrowed)?;
+        let mut any_rejected = false;
+        for ack in &acks {
+            match ack {
+                lsm_server::OptionAck::Applied { name, from, to } => {
+                    println!("applied   {name}: {from} -> {to}");
+                }
+                lsm_server::OptionAck::Unchanged { name } => {
+                    println!("unchanged {name}");
+                }
+                lsm_server::OptionAck::Rejected { name, error } => {
+                    any_rejected = true;
+                    println!("rejected  {name}: {error}");
+                }
+                lsm_server::OptionAck::Skipped { name } => {
+                    println!("skipped   {name} (another pair in the batch was rejected)");
+                }
+            }
+        }
+        if any_rejected {
+            return Err("batch not applied (see rejected pairs above)".into());
+        }
+        return Ok(());
+    }
+
+    if let Some(addr) = stats_addr {
+        let client = RemoteDb::connect(&addr)?;
+        let (text, _) = client.fetch_stats()?;
+        println!("{text}");
         return Ok(());
     }
 

@@ -29,7 +29,7 @@ use lsm_kvs::{
 };
 use parking_lot::{Condvar, Mutex};
 
-use crate::protocol::{frame, Request, Response, MAX_FRAME_LEN};
+use crate::protocol::{frame, OptionAck, Request, Response, MAX_FRAME_LEN};
 
 /// Most keys one auto-batched MultiGet frame carries; callers beyond
 /// this wait for the next round.
@@ -258,9 +258,49 @@ impl RemoteDb {
         self.expect_ok(&Request::Ping)
     }
 
-    fn fetch_stats(&self) -> Result<(String, DbStats)> {
+    /// One Stats RPC round trip: the server's full human-readable dump
+    /// (engine sections, "Live options", server counters) plus the
+    /// binary ticker/level snapshot. The snapshot side is what live
+    /// tuning diffs between throughput windows.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an undecodable reply.
+    pub fn fetch_stats(&self) -> Result<(String, DbStats)> {
         match self.call(&Request::Stats)? {
             Response::Stats { text, stats } => Ok((text, *stats)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Applies a live option batch and returns the per-pair verdicts —
+    /// the full-fidelity variant of [`KvEngine::set_options`]. The
+    /// server applies the batch atomically; a response with any
+    /// [`OptionAck::Rejected`] entry means nothing was changed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an undecodable reply, or a batch-level error
+    /// the server could not attribute to a single pair (e.g. a
+    /// cross-option invariant violation).
+    pub fn set_options_detailed(&self, changes: &[(&str, &str)]) -> Result<Vec<OptionAck>> {
+        let req = Request::SetOptions {
+            changes: changes
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+        };
+        match self.call(&req)? {
+            Response::OptionAcks(acks) => {
+                if acks.len() != changes.len() {
+                    return Err(Error::corruption(format!(
+                        "SetOptions answered {} acks for {} pairs",
+                        acks.len(),
+                        changes.len()
+                    )));
+                }
+                Ok(acks)
+            }
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -428,6 +468,28 @@ impl KvEngine for RemoteDb {
         self.fetch_stats()
             .map(|(t, _)| t)
             .unwrap_or_else(|e| format!("stats unavailable: {e}"))
+    }
+
+    fn set_options(&self, changes: &[(&str, &str)]) -> Result<Vec<(String, String, String)>> {
+        let acks = self.set_options_detailed(changes)?;
+        // The trait signature carries one error, so surface the pair at
+        // fault (the batch committed nothing in that case).
+        let mut applied = Vec::new();
+        for ack in &acks {
+            match ack {
+                OptionAck::Applied { name, from, to } => {
+                    applied.push((name.clone(), from.clone(), to.clone()));
+                }
+                OptionAck::Unchanged { .. } | OptionAck::Skipped { .. } => {}
+                OptionAck::Rejected { name, error } => {
+                    return Err(Error::new(
+                        error.kind(),
+                        format!("{name}: {}", error.message()),
+                    ));
+                }
+            }
+        }
+        Ok(applied)
     }
 }
 

@@ -38,5 +38,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Conn, RemoteDb};
-pub use protocol::{Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET};
+pub use protocol::{OptionAck, Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET};
 pub use server::{serve, ServerHandle, ServerStats};

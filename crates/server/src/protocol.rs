@@ -52,6 +52,8 @@ pub mod op {
     pub const SHUTDOWN: u8 = 10;
     /// Batched point read.
     pub const MULTI_GET: u8 = 11;
+    /// Live option changes (name/value pairs, atomic batch).
+    pub const SET_OPTIONS: u8 = 12;
 }
 
 /// Per-frame byte budget for scan response chunks: the server cuts a
@@ -110,6 +112,13 @@ pub enum Request {
         /// Keys to look up.
         keys: Vec<Vec<u8>>,
     },
+    /// Live option changes applied atomically to the running engine;
+    /// the response carries one [`OptionAck`] per pair, in request
+    /// order.
+    SetOptions {
+        /// `(name, value)` pairs; names may use registry aliases.
+        changes: Vec<(String, String)>,
+    },
     /// Forward scan from `start` for up to `count` live entries.
     Scan {
         /// First key (inclusive).
@@ -127,6 +136,42 @@ pub enum Request {
     Ping,
     /// Graceful shutdown.
     Shutdown,
+}
+
+/// Per-pair verdict for one `(name, value)` entry of a
+/// [`Request::SetOptions`] batch. The batch is atomic: `Applied` /
+/// `Unchanged` verdicts only ever appear together, and a single
+/// `Rejected` pair turns every other pair into `Skipped`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionAck {
+    /// The batch committed and this pair changed a value.
+    Applied {
+        /// Canonical option name.
+        name: String,
+        /// Canonical value before the change.
+        from: String,
+        /// Canonical value now in force.
+        to: String,
+    },
+    /// The batch committed; this pair parsed to the value already in
+    /// force.
+    Unchanged {
+        /// Canonical option name.
+        name: String,
+    },
+    /// This pair is at fault (unknown name, immutable option, parse or
+    /// range failure) and the batch aborted.
+    Rejected {
+        /// The name as requested (it may not resolve to a canonical one).
+        name: String,
+        /// Why the pair was rejected.
+        error: Error,
+    },
+    /// Another pair was rejected, so this (valid) pair was not applied.
+    Skipped {
+        /// Canonical option name.
+        name: String,
+    },
 }
 
 /// A decoded response.
@@ -148,6 +193,9 @@ pub enum Response {
         /// Whether another chunk follows.
         more: bool,
     },
+    /// SetOptions results: one verdict per requested pair, in request
+    /// order.
+    OptionAcks(Vec<OptionAck>),
     /// Stats dump: human-readable text plus the binary snapshot.
     Stats {
         /// `stats_text()` output plus the server's own section.
@@ -273,6 +321,14 @@ impl Request {
                     put_bytes(&mut out, key);
                 }
             }
+            Request::SetOptions { changes } => {
+                out.push(op::SET_OPTIONS);
+                put_u32(&mut out, changes.len() as u32);
+                for (name, value) in changes {
+                    put_bytes(&mut out, name.as_bytes());
+                    put_bytes(&mut out, value.as_bytes());
+                }
+            }
             Request::Scan { start, count } => {
                 out.push(op::SCAN);
                 put_bytes(&mut out, start);
@@ -337,6 +393,21 @@ impl Request {
                 }
                 Request::MultiGet { keys }
             }
+            op::SET_OPTIONS => {
+                let n = c.u32()? as usize;
+                // Each pair costs at least two 4-byte length fields on
+                // the wire; checking first bounds the allocation.
+                if n > (payload.len() - c.pos) / 8 + 1 {
+                    return Err(Error::corruption("change count exceeds frame"));
+                }
+                let mut changes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = String::from_utf8_lossy(&c.bytes()?).into_owned();
+                    let value = String::from_utf8_lossy(&c.bytes()?).into_owned();
+                    changes.push((name, value));
+                }
+                Request::SetOptions { changes }
+            }
             op::SCAN => Request::Scan { start: c.bytes()?, count: c.u32()? },
             op::FLUSH => Request::Flush,
             op::STATS => Request::Stats,
@@ -356,6 +427,12 @@ impl Request {
 
 fn encode_error(out: &mut Vec<u8>, e: &Error) {
     out.push(status::ERR);
+    encode_error_body(out, e);
+}
+
+/// Encodes an error without the status byte (shared by the top-level
+/// error response and per-pair `OptionAck::Rejected` entries).
+fn encode_error_body(out: &mut Vec<u8>, e: &Error) {
     out.push(error_kind_code(e.kind()));
     out.push(u8::from(e.is_retryable()));
     put_bytes(out, e.message().as_bytes());
@@ -424,6 +501,33 @@ impl Response {
                     put_bytes(&mut out, v);
                 }
             }
+            Response::OptionAcks(acks) => {
+                out.push(status::OK);
+                put_u32(&mut out, acks.len() as u32);
+                for ack in acks {
+                    match ack {
+                        OptionAck::Applied { name, from, to } => {
+                            out.push(0);
+                            put_bytes(&mut out, name.as_bytes());
+                            put_bytes(&mut out, from.as_bytes());
+                            put_bytes(&mut out, to.as_bytes());
+                        }
+                        OptionAck::Unchanged { name } => {
+                            out.push(1);
+                            put_bytes(&mut out, name.as_bytes());
+                        }
+                        OptionAck::Rejected { name, error } => {
+                            out.push(2);
+                            put_bytes(&mut out, name.as_bytes());
+                            encode_error_body(&mut out, error);
+                        }
+                        OptionAck::Skipped { name } => {
+                            out.push(3);
+                            put_bytes(&mut out, name.as_bytes());
+                        }
+                    }
+                }
+            }
             Response::Stats { text, stats } => {
                 out.push(status::OK);
                 put_bytes(&mut out, text.as_bytes());
@@ -482,6 +586,33 @@ impl Response {
                         entries.push((k, v));
                     }
                     Response::Entries { entries, more }
+                }
+                Request::SetOptions { .. } => {
+                    let n = c.u32()? as usize;
+                    // Each ack costs at least a tag byte plus a 4-byte
+                    // name length; checking first bounds the allocation.
+                    if n > (payload.len() - c.pos) / 5 + 1 {
+                        return Err(Error::corruption("ack count exceeds frame"));
+                    }
+                    let mut acks = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let tag = c.u8()?;
+                        let name = String::from_utf8_lossy(&c.bytes()?).into_owned();
+                        acks.push(match tag {
+                            0 => OptionAck::Applied {
+                                name,
+                                from: String::from_utf8_lossy(&c.bytes()?).into_owned(),
+                                to: String::from_utf8_lossy(&c.bytes()?).into_owned(),
+                            },
+                            1 => OptionAck::Unchanged { name },
+                            2 => OptionAck::Rejected { name, error: decode_error(&mut c)? },
+                            3 => OptionAck::Skipped { name },
+                            other => {
+                                return Err(Error::corruption(format!("bad ack tag {other}")))
+                            }
+                        });
+                    }
+                    Response::OptionAcks(acks)
                 }
                 Request::Stats => {
                     let text = String::from_utf8_lossy(&c.bytes()?).into_owned();
@@ -621,6 +752,12 @@ mod tests {
             keys: vec![b"a".to_vec(), Vec::new(), b"long-key".to_vec()],
         });
         roundtrip_req(Request::Scan { start: b"s".to_vec(), count: 10 });
+        roundtrip_req(Request::SetOptions {
+            changes: vec![
+                ("write_buffer_size".to_string(), "32MB".to_string()),
+                ("cache_size".to_string(), String::new()),
+            ],
+        });
         roundtrip_req(Request::Flush);
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::WaitIdle);
@@ -708,6 +845,79 @@ mod tests {
         }
         // More-flag outside {0, 1}.
         let bad = [status::OK, 9, 0, 0, 0, 0];
+        assert!(Response::decode(&req, &bad).is_err());
+    }
+
+    #[test]
+    fn set_options_acks_roundtrip() {
+        let req = Request::SetOptions {
+            changes: vec![
+                ("write_buffer_size".to_string(), "32MB".to_string()),
+                ("compression".to_string(), "snappy".to_string()),
+                ("num_shards".to_string(), "4".to_string()),
+                ("bogus".to_string(), "1".to_string()),
+            ],
+        };
+        let acks = Response::OptionAcks(vec![
+            OptionAck::Applied {
+                name: "write_buffer_size".to_string(),
+                from: "67108864".to_string(),
+                to: "33554432".to_string(),
+            },
+            OptionAck::Unchanged { name: "compression".to_string() },
+            OptionAck::Rejected {
+                name: "num_shards".to_string(),
+                error: Error::invalid_argument("immutable").retryable(false),
+            },
+            OptionAck::Skipped { name: "bogus".to_string() },
+        ]);
+        assert_eq!(Response::decode(&req, &acks.encode()).unwrap(), acks);
+        // A plain error reply must also decode against this request.
+        let err = Response::Err(Error::not_supported("no live options"));
+        assert_eq!(Response::decode(&req, &err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn truncated_set_options_frames_error_not_panic() {
+        let req = Request::SetOptions {
+            changes: vec![
+                ("write_buffer_size".to_string(), "64MB".to_string()),
+                (String::new(), String::new()),
+                ("level0_slowdown_writes_trigger".to_string(), "24".to_string()),
+            ],
+        };
+        let full = req.encode();
+        for cut in 0..full.len() {
+            let _ = Request::decode(&full[..cut]); // must not panic
+        }
+        // Change count promising more pairs than the frame can hold.
+        let mut lying = vec![op::SET_OPTIONS];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+
+        let resp = Response::OptionAcks(vec![
+            OptionAck::Applied {
+                name: "write_buffer_size".to_string(),
+                from: "67108864".to_string(),
+                to: "67108865".to_string(),
+            },
+            OptionAck::Rejected {
+                name: "num_shards".to_string(),
+                error: Error::invalid_argument("immutable"),
+            },
+            OptionAck::Skipped { name: "level0_slowdown_writes_trigger".to_string() },
+            OptionAck::Unchanged { name: "compression".to_string() },
+        ]);
+        let full = resp.encode();
+        for cut in 0..full.len() {
+            let _ = Response::decode(&req, &full[..cut]); // must not panic
+        }
+        // Ack count promising more entries than the frame holds.
+        let mut lying = vec![status::OK];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&req, &lying).is_err());
+        // Ack tag outside {0, 1, 2, 3}.
+        let bad = [status::OK, 1, 0, 0, 0, 9, 0, 0, 0, 0];
         assert!(Response::decode(&req, &bad).is_err());
     }
 

@@ -38,7 +38,7 @@ use parking_lot::Mutex;
 
 use crate::poll::{PollEvent, Poller, WAKE_TOKEN};
 use crate::protocol::{
-    frame, ops_to_batch, Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET,
+    frame, ops_to_batch, OptionAck, Request, Response, MAX_FRAME_LEN, SCAN_CHUNK_BUDGET,
 };
 
 /// Upper bound on the event-loop wait; also how often the shutdown flag
@@ -783,10 +783,85 @@ fn execute(shared: &Shared, req: Request) -> Response {
             Response::Stats { text, stats: Box::new(engine.stats()) }
         }
         Request::WaitIdle => ack(engine.wait_background_idle()),
+        Request::SetOptions { changes } => execute_set_options(engine, &changes),
         Request::Ping => Response::Ok,
         // Scan and Shutdown are handled in `process_frames` (they change
         // connection state); reaching here is impossible.
         Request::Scan { .. } | Request::Shutdown => Response::Ok,
+    }
+}
+
+/// Applies a SetOptions batch through the engine's atomic path, then
+/// translates the single engine verdict into per-pair acks.
+///
+/// The engine commits all-or-nothing, so on success every pair is
+/// `Applied` or `Unchanged`; on failure each pair is re-classified
+/// against the registry so the client learns which pair was at fault
+/// (`Rejected`) and which were valid but aborted with the batch
+/// (`Skipped`). Classification that cannot attribute the failure to any
+/// single pair (e.g. a cross-option invariant, or an engine without
+/// live-options support) falls back to a plain error response.
+fn execute_set_options(engine: &dyn lsm_kvs::KvEngine, changes: &[(String, String)]) -> Response {
+    use lsm_kvs::options::registry::find_option;
+    use lsm_kvs::options::Options;
+
+    let pairs: Vec<(&str, &str)> =
+        changes.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+    match engine.set_options(&pairs) {
+        Ok(applied) => {
+            // Hand the applied (name, from, to) triples back out to the
+            // pairs that caused them, in order; pairs that produced no
+            // change are Unchanged.
+            let mut remaining = applied.as_slice();
+            let acks = changes
+                .iter()
+                .map(|(name, _)| {
+                    let canon = find_option(name).map_or(name.as_str(), |m| m.name);
+                    if let Some((first, rest)) = remaining.split_first() {
+                        if first.0 == canon {
+                            remaining = rest;
+                            return OptionAck::Applied {
+                                name: first.0.clone(),
+                                from: first.1.clone(),
+                                to: first.2.clone(),
+                            };
+                        }
+                    }
+                    OptionAck::Unchanged { name: canon.to_string() }
+                })
+                .collect();
+            Response::OptionAcks(acks)
+        }
+        Err(batch_err) => {
+            let mut any_rejected = false;
+            let acks: Vec<OptionAck> = changes
+                .iter()
+                .map(|(name, value)| match find_option(name) {
+                    Some(meta) if !meta.mutable_online => {
+                        any_rejected = true;
+                        OptionAck::Rejected {
+                            name: meta.name.to_string(),
+                            error: lsm_kvs::Error::invalid_argument(format!(
+                                "{} is immutable: a change requires reopening the database",
+                                meta.name
+                            )),
+                        }
+                    }
+                    _ => match Options::normalize_change(name, value) {
+                        Ok((canon, _)) => OptionAck::Skipped { name: canon },
+                        Err(e) => {
+                            any_rejected = true;
+                            OptionAck::Rejected { name: name.clone(), error: e }
+                        }
+                    },
+                })
+                .collect();
+            if any_rejected {
+                Response::OptionAcks(acks)
+            } else {
+                Response::Err(batch_err)
+            }
+        }
     }
 }
 

@@ -520,3 +520,117 @@ fn backpressure_pauses_intake_while_stopped() {
     assert!(done.load(Ordering::SeqCst));
     drop(handle);
 }
+
+#[test]
+fn set_options_rpc_end_to_end() {
+    use lsm_server::OptionAck;
+
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = RemoteDb::connect(&addr).unwrap();
+    client.put(b"k", b"v").unwrap();
+
+    // Mutable batch: per-pair acks, canonical names/values, no reopen.
+    let acks = client
+        .set_options_detailed(&[
+            ("max_background_jobs", "6"),
+            ("write_buffer_size", "64MB"), // equals the default -> unchanged
+        ])
+        .unwrap();
+    assert_eq!(acks.len(), 2);
+    match &acks[0] {
+        OptionAck::Applied { name, from, to } => {
+            assert_eq!(name, "max_background_jobs");
+            assert_eq!(from, "2");
+            assert_eq!(to, "6");
+        }
+        other => panic!("expected Applied, got {other:?}"),
+    }
+    assert!(matches!(&acks[1], OptionAck::Unchanged { name } if name == "write_buffer_size"));
+
+    // The change is visible in the server's stats dump without a reopen,
+    // and the data survived.
+    let text = client.stats_text();
+    assert!(text.contains("** Live options **"), "{text}");
+    assert!(text.contains("max_background_jobs: 6 (opened: 2)"), "{text}");
+    assert!(text.contains("options_changed: 1"), "{text}");
+    assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+
+    // The KvEngine-shaped call returns applied triples directly.
+    let applied = client.set_options(&[("delayed_write_rate", "8MB")]).unwrap();
+    assert_eq!(
+        applied,
+        vec![("delayed_write_rate".to_string(), "16777216".to_string(), "8388608".to_string())]
+    );
+
+    drop(client);
+    drop(handle);
+}
+
+#[test]
+fn set_options_immutable_rejection_names_option_and_keeps_connection() {
+    use lsm_server::OptionAck;
+
+    let (handle, addr) = start_db_server(Options::default(), Arc::new(MemVfs::new()));
+    let client = RemoteDb::connect(&addr).unwrap();
+
+    // A batch mixing a mutable pair with an immutable one: nothing lands,
+    // the immutable pair is Rejected by name, the rest become Skipped.
+    let acks = client
+        .set_options_detailed(&[("max_background_jobs", "6"), ("num_shards", "4")])
+        .unwrap();
+    assert_eq!(acks.len(), 2);
+    assert!(
+        matches!(&acks[0], OptionAck::Skipped { name } if name == "max_background_jobs"),
+        "{acks:?}"
+    );
+    match &acks[1] {
+        OptionAck::Rejected { name, error } => {
+            assert_eq!(name, "num_shards");
+            assert!(error.to_string().contains("reopen"), "{error}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // Nothing committed server-side.
+    let text = client.stats_text();
+    assert!(text.contains("options_changed: 0"), "{text}");
+
+    // The rejection must not poison the connection: the same client
+    // keeps serving reads, writes, and further SetOptions batches.
+    client.put(b"after", b"rejection").unwrap();
+    assert_eq!(client.get(b"after").unwrap(), Some(b"rejection".to_vec()));
+    let applied = client.set_options(&[("max_background_jobs", "3")]).unwrap();
+    assert_eq!(applied.len(), 1);
+
+    // The KvEngine-shaped call surfaces the rejection as an error that
+    // names the option.
+    let err = client.set_options(&[("block_cache_size", "1GB")]).unwrap_err();
+    assert!(err.to_string().contains("block_cache_size"), "{err}");
+    assert_eq!(client.get(b"after").unwrap(), Some(b"rejection".to_vec()));
+
+    drop(client);
+    drop(handle);
+}
+
+#[test]
+fn set_options_rpc_on_sharded_engine_hits_every_shard() {
+    let env = wall_env();
+    let opts = Options {
+        num_shards: 2,
+        ..Options::default()
+    };
+    let db = ShardedDb::builder(opts).env(&env).vfs(Arc::new(MemVfs::new())).open().unwrap();
+    let handle = serve(Arc::new(db), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr().to_string();
+    let client = RemoteDb::connect(&addr).unwrap();
+
+    let applied = client.set_options(&[("write_buffer_size", "32MB")]).unwrap();
+    assert_eq!(applied.len(), 1);
+    let text = client.stats_text();
+    assert!(text.contains("write_buffer_size: 33554432 (opened: 67108864)"), "{text}");
+    // One committed batch in each shard's own section.
+    assert_eq!(text.matches("options_changed: 1").count(), 2, "{text}");
+
+    drop(client);
+    drop(handle);
+}
